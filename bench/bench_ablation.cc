@@ -1,0 +1,200 @@
+// Ablations for the design choices documented in DESIGN.md:
+//  1. chain composition — collapsing per-variable view chains into
+//     multi-variable views (paper Section 3, "long chains") on the wide
+//     Retailer schema;
+//  2. factorized vs expanded delta propagation for product-shaped updates
+//     (the Section 5 Optimize step);
+//  3. dense (range-block) vs degree-indexed regression payloads at full
+//     cofactor width (the F-IVM vs SQL-OPT representation choice).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/ivm_engine.h"
+#include "src/core/view_tree.h"
+#include "src/ml/cofactor.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+#include "src/workloads/retailer.h"
+#include "src/workloads/stream.h"
+
+namespace fivm {
+namespace {
+
+using workloads::RetailerConfig;
+using workloads::RetailerDataset;
+using workloads::UpdateStream;
+
+void AblateChainComposition() {
+  std::printf("\n-- Ablation 1: chain composition (Retailer cofactor) --\n");
+  RetailerConfig cfg;
+  cfg.inventory_rows = 20000 * bench::BenchScale();
+  cfg.locations = 30;
+  cfg.dates = 100;
+  cfg.products = 500;
+  auto ds = RetailerDataset::Generate(cfg);
+  const Query& query = *ds->query;
+  std::vector<int> all{0, 1, 2, 3, 4};
+  auto stream = UpdateStream::RoundRobin(ds->tuples, 1000);
+
+  for (bool compose : {true, false}) {
+    ViewTree::Options opts;
+    opts.compose_chains = compose;
+    ViewTree tree(ds->query.get(), &ds->vorder, opts);
+    tree.ComputeMaterialization(all);
+    auto slots = tree.AssignAggregateSlots();
+    IvmEngine<RegressionRing> engine(&tree,
+                                     ml::RegressionLiftings(query, slots));
+    Database<RegressionRing> empty = MakeDatabase<RegressionRing>(query);
+    engine.Initialize(empty);
+
+    util::Timer timer;
+    uint64_t processed = 0;
+    for (const auto& b : stream.batches()) {
+      engine.ApplyDelta(b.relation,
+                        UpdateStream::ToDelta<RegressionRing>(query, b));
+      processed += b.tuples.size();
+      if (timer.ElapsedSeconds() > bench::BudgetSeconds()) break;
+    }
+    int view_nodes = 0;
+    for (const auto& node : tree.nodes()) {
+      if (node.relation < 0) ++view_nodes;
+    }
+    std::printf("  compose=%-5s view-nodes=%3d materialized=%3d  "
+                "throughput=%10.0f t/s  mem=%7.1f MB\n",
+                compose ? "on" : "off", view_nodes,
+                engine.StoredViewCount(),
+                processed / timer.ElapsedSeconds(),
+                engine.TotalBytes() / 1e6);
+  }
+}
+
+void AblateFactorizedDeltas() {
+  std::printf("\n-- Ablation 2: factorized vs expanded delta propagation "
+              "(matrix chain, rank-1 row updates) --\n");
+  Catalog catalog;
+  Query query(&catalog);
+  VarId x1 = catalog.Intern("X1"), x2 = catalog.Intern("X2"),
+        x3 = catalog.Intern("X3"), x4 = catalog.Intern("X4");
+  query.AddRelation("A1", Schema{x1, x2});
+  query.AddRelation("A2", Schema{x2, x3});
+  query.AddRelation("A3", Schema{x3, x4});
+  query.SetFreeVars(Schema{x1, x4});
+  VariableOrder vo;
+  int n1 = vo.AddNode(x1, -1);
+  int n4 = vo.AddNode(x4, n1);
+  int n2 = vo.AddNode(x2, n4);
+  vo.AddNode(x3, n2);
+  std::string error;
+  vo.Finalize(query, &error);
+
+  util::Rng rng(11);
+  for (size_t n : {64u, 128u, 256u}) {
+    ViewTree tree(&query, &vo);
+    tree.ComputeMaterialization({1});
+    IvmEngine<F64Ring> fact(&tree, LiftingMap<F64Ring>{});
+    IvmEngine<F64Ring> expand(&tree, LiftingMap<F64Ring>{});
+    Database<F64Ring> db;
+    for (int r = 0; r < 3; ++r) {
+      db.emplace_back(query.relation(r).schema);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          db[r].Add(Tuple::Ints({static_cast<int64_t>(i),
+                                 static_cast<int64_t>(j)}),
+                    rng.UniformDouble(-1, 1));
+        }
+      }
+    }
+    fact.Initialize(db);
+    expand.Initialize(db);
+
+    auto make_factors = [&]() {
+      Relation<F64Ring> u(Schema{x2});
+      u.Add(Tuple::Ints({static_cast<int64_t>(rng.Uniform(n))}), 1.0);
+      Relation<F64Ring> v(Schema{x3});
+      for (size_t j = 0; j < n; ++j) {
+        v.Add(Tuple::Ints({static_cast<int64_t>(j)}),
+              rng.UniformDouble(-1, 1));
+      }
+      return std::vector<Relation<F64Ring>>{std::move(u), std::move(v)};
+    };
+
+    const int updates = 5;
+    util::Timer timer;
+    for (int i = 0; i < updates; ++i) {
+      fact.ApplyFactorizedDelta(1, make_factors());
+    }
+    double fact_time = timer.ElapsedSeconds() / updates;
+
+    timer.Reset();
+    for (int i = 0; i < updates; ++i) {
+      auto factors = make_factors();
+      auto expanded = Join(factors[0], factors[1]);
+      Relation<F64Ring> reordered(query.relation(1).schema);
+      AbsorbInto(reordered, expanded);
+      expand.ApplyDelta(1, reordered);
+    }
+    double expand_time = timer.ElapsedSeconds() / updates;
+
+    std::printf("  n=%4zu  factorized=%.5fs  expanded=%.5fs  speedup=%.1fx\n",
+                n, fact_time, expand_time, expand_time / fact_time);
+  }
+}
+
+void AblatePayloadEncoding() {
+  std::printf("\n-- Ablation 3: dense range-block vs degree-indexed "
+              "regression payloads (width sweep) --\n");
+  util::Rng rng(13);
+  for (uint32_t width : {4u, 11u, 21u, 43u}) {
+    // Build two payloads covering adjacent ranges and multiply them — the
+    // dominant operation near the view-tree root.
+    auto dense_payload = [&](uint32_t lo) {
+      RegressionPayload p = RegressionPayload::Count(1.0);
+      for (uint32_t i = 0; i < width / 2; ++i) {
+        p = Mul(p, RegressionPayload::Lift(lo + i, rng.UniformDouble(-1, 1)));
+      }
+      return p;
+    };
+    auto sparse_payload = [&](uint32_t lo) {
+      SparseRegressionPayload p = SparseRegressionPayload::Count(1.0);
+      for (uint32_t i = 0; i < width / 2; ++i) {
+        p = Mul(p, SparseRegressionPayload::Lift(lo + i,
+                                                 rng.UniformDouble(-1, 1)));
+      }
+      return p;
+    };
+    auto da = dense_payload(0);
+    auto db = dense_payload(width / 2);
+    auto sa = sparse_payload(0);
+    auto sb = sparse_payload(width / 2);
+
+    const int reps = 20000;
+    util::Timer timer;
+    for (int i = 0; i < reps; ++i) {
+      auto r = Mul(da, db);
+      (void)r;
+    }
+    double dense_time = timer.ElapsedSeconds() / reps;
+    timer.Reset();
+    for (int i = 0; i < reps; ++i) {
+      auto r = Mul(sa, sb);
+      (void)r;
+    }
+    double sparse_time = timer.ElapsedSeconds() / reps;
+    std::printf("  width=%2u  dense=%8.0f ns  degree-indexed=%8.0f ns  "
+                "ratio=%.1fx\n",
+                width, dense_time * 1e9, sparse_time * 1e9,
+                sparse_time / dense_time);
+  }
+}
+
+}  // namespace
+}  // namespace fivm
+
+int main() {
+  fivm::bench::PrintHeader("Ablations (DESIGN.md design choices)");
+  fivm::AblateChainComposition();
+  fivm::AblateFactorizedDeltas();
+  fivm::AblatePayloadEncoding();
+  return 0;
+}

@@ -1,0 +1,214 @@
+// Figure 12: the effect of batch size (100 .. 100,000) on cofactor-matrix
+// maintenance throughput, for the best approaches per dataset: Retailer and
+// Housing with F-IVM / SQL-OPT / DBT-RING, Twitter (triangle query) with
+// F-IVM / 1-IVM / DBT-RING. Expected shape: mid-sized batches (1k-10k) win.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baselines/first_order_ivm.h"
+#include "src/baselines/recursive_ivm.h"
+#include "src/core/ivm_engine.h"
+#include "src/core/view_tree.h"
+#include "src/ml/cofactor.h"
+#include "src/util/timer.h"
+#include "src/workloads/housing.h"
+#include "src/workloads/retailer.h"
+#include "src/workloads/stream.h"
+#include "src/workloads/twitter.h"
+
+namespace fivm {
+namespace {
+
+using workloads::UpdateStream;
+
+double MeasureThroughput(
+    const UpdateStream& stream,
+    const std::function<void(const UpdateStream::Batch&)>& apply) {
+  util::Timer timer;
+  double budget = bench::BudgetSeconds();
+  uint64_t processed = 0;
+  for (const auto& b : stream.batches()) {
+    apply(b);
+    processed += b.tuples.size();
+    if (timer.ElapsedSeconds() > budget) break;
+  }
+  double elapsed = timer.ElapsedSeconds();
+  return elapsed > 0 ? processed / elapsed : 0.0;
+}
+
+const std::vector<size_t> kBatchSizes{100, 1000, 10000, 100000};
+
+template <typename MakeEngine>
+void Sweep(const char* system, const std::vector<std::vector<Tuple>>& tuples,
+           MakeEngine&& make) {
+  std::printf("  %-10s", system);
+  for (size_t batch : kBatchSizes) {
+    auto stream = UpdateStream::RoundRobin(tuples, batch);
+    auto apply = make();
+    std::printf("  %12.0f", MeasureThroughput(stream, apply));
+  }
+  std::printf("\n");
+}
+
+void PrintBatchHeader() {
+  std::printf("  %-10s", "system");
+  for (size_t b : kBatchSizes) std::printf("  %10zu t", b);
+  std::printf("   (tuples/sec per batch size)\n");
+}
+
+void RunRetailer() {
+  workloads::RetailerConfig cfg;
+  cfg.inventory_rows = 30000 * bench::BenchScale();
+  cfg.locations = 30;
+  cfg.dates = 200;
+  cfg.products = 1000;
+  auto ds = workloads::RetailerDataset::Generate(cfg);
+  Query& query = *ds->query;
+  std::vector<int> all{0, 1, 2, 3, 4};
+
+  std::printf("Retailer cofactor:\n");
+  PrintBatchHeader();
+  Sweep("F-IVM", ds->tuples, [&]() {
+    auto tree = std::make_shared<ViewTree>(&query, &ds->vorder);
+    tree->ComputeMaterialization(all);
+    auto slots = tree->AssignAggregateSlots();
+    auto engine = std::make_shared<IvmEngine<RegressionRing>>(
+        tree.get(), ml::RegressionLiftings(query, slots));
+    Database<RegressionRing> empty = MakeDatabase<RegressionRing>(query);
+    engine->Initialize(empty);
+    return [&query, tree, engine](const UpdateStream::Batch& b) {
+      engine->ApplyDelta(b.relation,
+                         UpdateStream::ToDelta<RegressionRing>(query, b));
+    };
+  });
+  Sweep("SQL-OPT", ds->tuples, [&]() {
+    auto tree = std::make_shared<ViewTree>(&query, &ds->vorder);
+    tree->ComputeMaterialization(all);
+    auto slots = tree->AssignAggregateSlots();
+    auto engine = std::make_shared<IvmEngine<SparseRegressionRing>>(
+        tree.get(), ml::SparseRegressionLiftings(query, slots));
+    Database<SparseRegressionRing> empty =
+        MakeDatabase<SparseRegressionRing>(query);
+    engine->Initialize(empty);
+    return [&query, tree, engine](const UpdateStream::Batch& b) {
+      engine->ApplyDelta(
+          b.relation, UpdateStream::ToDelta<SparseRegressionRing>(query, b));
+    };
+  });
+  Sweep("DBT-RING", ds->tuples, [&]() {
+    ViewTree slots_tree(&query, &ds->vorder);
+    auto slots = slots_tree.AssignAggregateSlots();
+    auto engine =
+        std::make_shared<RecursiveIvm<RegressionRing>>(&query, all);
+    engine->AddAggregate({ml::RegressionLiftings(query, slots), {}});
+    Database<RegressionRing> empty = MakeDatabase<RegressionRing>(query);
+    engine->Initialize(empty);
+    return [&query, engine](const UpdateStream::Batch& b) {
+      engine->ApplyDelta(b.relation,
+                         UpdateStream::ToDelta<RegressionRing>(query, b));
+    };
+  });
+}
+
+void RunHousing() {
+  workloads::HousingConfig cfg;
+  cfg.postcodes = 3000 * bench::BenchScale();
+  cfg.scale = 4;
+  auto ds = workloads::HousingDataset::Generate(cfg);
+  Query& query = *ds->query;
+  std::vector<int> all{0, 1, 2, 3, 4, 5};
+
+  std::printf("Housing cofactor:\n");
+  PrintBatchHeader();
+  Sweep("F-IVM", ds->tuples, [&]() {
+    auto tree = std::make_shared<ViewTree>(&query, &ds->vorder);
+    tree->ComputeMaterialization(all);
+    auto slots = tree->AssignAggregateSlots();
+    auto engine = std::make_shared<IvmEngine<RegressionRing>>(
+        tree.get(), ml::RegressionLiftings(query, slots));
+    Database<RegressionRing> empty = MakeDatabase<RegressionRing>(query);
+    engine->Initialize(empty);
+    return [&query, tree, engine](const UpdateStream::Batch& b) {
+      engine->ApplyDelta(b.relation,
+                         UpdateStream::ToDelta<RegressionRing>(query, b));
+    };
+  });
+  Sweep("SQL-OPT", ds->tuples, [&]() {
+    auto tree = std::make_shared<ViewTree>(&query, &ds->vorder);
+    tree->ComputeMaterialization(all);
+    auto slots = tree->AssignAggregateSlots();
+    auto engine = std::make_shared<IvmEngine<SparseRegressionRing>>(
+        tree.get(), ml::SparseRegressionLiftings(query, slots));
+    Database<SparseRegressionRing> empty =
+        MakeDatabase<SparseRegressionRing>(query);
+    engine->Initialize(empty);
+    return [&query, tree, engine](const UpdateStream::Batch& b) {
+      engine->ApplyDelta(
+          b.relation, UpdateStream::ToDelta<SparseRegressionRing>(query, b));
+    };
+  });
+}
+
+void RunTwitter() {
+  workloads::TwitterConfig cfg;
+  cfg.nodes = 2000;
+  cfg.edges = 9000 * bench::BenchScale();
+  auto ds = workloads::TwitterDataset::Generate(cfg);
+  Query& query = *ds->query;
+  std::vector<int> all{0, 1, 2};
+
+  std::printf("Twitter triangle cofactor:\n");
+  PrintBatchHeader();
+  Sweep("F-IVM", ds->tuples, [&]() {
+    auto tree = std::make_shared<ViewTree>(&query, &ds->vorder);
+    tree->ComputeMaterialization(all);
+    auto slots = tree->AssignAggregateSlots();
+    auto engine = std::make_shared<IvmEngine<RegressionRing>>(
+        tree.get(), ml::RegressionLiftings(query, slots));
+    Database<RegressionRing> empty = MakeDatabase<RegressionRing>(query);
+    engine->Initialize(empty);
+    return [&query, tree, engine](const UpdateStream::Batch& b) {
+      engine->ApplyDelta(b.relation,
+                         UpdateStream::ToDelta<RegressionRing>(query, b));
+    };
+  });
+  Sweep("1-IVM", ds->tuples, [&]() {
+    auto aggs = ml::ScalarRegressionAggregates(query);
+    std::vector<LiftingMap<F64Ring>> lifts;
+    for (auto& a : aggs) lifts.push_back(a.lifts);
+    auto engine = std::make_shared<FirstOrderIvm<F64Ring>>(&query, lifts);
+    Database<F64Ring> empty = MakeDatabase<F64Ring>(query);
+    engine->Initialize(empty);
+    return [&query, engine](const UpdateStream::Batch& b) {
+      engine->ApplyDelta(b.relation,
+                         UpdateStream::ToDelta<F64Ring>(query, b));
+    };
+  });
+  Sweep("DBT-RING", ds->tuples, [&]() {
+    ViewTree slots_tree(&query, &ds->vorder);
+    auto slots = slots_tree.AssignAggregateSlots();
+    auto engine =
+        std::make_shared<RecursiveIvm<RegressionRing>>(&query, all);
+    engine->AddAggregate({ml::RegressionLiftings(query, slots), {}});
+    Database<RegressionRing> empty = MakeDatabase<RegressionRing>(query);
+    engine->Initialize(empty);
+    return [&query, engine](const UpdateStream::Batch& b) {
+      engine->ApplyDelta(b.relation,
+                         UpdateStream::ToDelta<RegressionRing>(query, b));
+    };
+  });
+}
+
+}  // namespace
+}  // namespace fivm
+
+int main() {
+  fivm::bench::PrintHeader("Figure 12: batch-size sweep, cofactor matrix");
+  fivm::RunRetailer();
+  fivm::RunHousing();
+  fivm::RunTwitter();
+  return 0;
+}

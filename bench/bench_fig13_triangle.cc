@@ -1,0 +1,159 @@
+// Figure 13: cofactor matrix (degree-3 ring) on top of the triangle query
+// over the Twitter-like dataset, updates of size 1000 to all relations.
+// Systems: F-IVM (quadratic intermediate view), DBT-RING (three pairwise
+// joins), DBT and 1-IVM with scalar payloads (10 aggregates), F-IVM ONE
+// (updates to R only), and F-IVM IND — our variant with an indicator
+// projection bounding the intermediate view (Appendix B).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/series_runner.h"
+#include "src/baselines/first_order_ivm.h"
+#include "src/baselines/recursive_ivm.h"
+#include "src/core/ivm_engine.h"
+#include "src/core/view_tree.h"
+#include "src/ml/cofactor.h"
+#include "src/workloads/stream.h"
+#include "src/workloads/twitter.h"
+
+namespace fivm {
+namespace {
+
+using workloads::TwitterConfig;
+using workloads::TwitterDataset;
+using workloads::UpdateStream;
+
+void Run() {
+  TwitterConfig cfg;
+  cfg.nodes = 2000;
+  cfg.edges = 9000 * bench::BenchScale();
+  auto ds = TwitterDataset::Generate(cfg);
+  Query& query = *ds->query;
+  const size_t batch = 1000;
+  std::vector<int> all{0, 1, 2};
+
+  auto stream = UpdateStream::RoundRobin(ds->tuples, batch);
+  std::printf("Twitter triangle: %llu edge tuples, batch %zu\n",
+              static_cast<unsigned long long>(stream.total_tuples()), batch);
+
+  {
+    ViewTree tree(&query, &ds->vorder);
+    tree.ComputeMaterialization(all);
+    auto slots = tree.AssignAggregateSlots();
+    IvmEngine<RegressionRing> engine(&tree,
+                                     ml::RegressionLiftings(query, slots));
+    Database<RegressionRing> empty = MakeDatabase<RegressionRing>(query);
+    engine.Initialize(empty);
+    bench::RunSeries(
+        "F-IVM", stream,
+        [&](const UpdateStream::Batch& b) {
+          engine.ApplyDelta(b.relation,
+                            UpdateStream::ToDelta<RegressionRing>(query, b));
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+  }
+
+  {
+    // Our Appendix-B variant: indicator projection ∃_{A,B} R bounds V@C.
+    ViewTree tree(&query, &ds->vorder);
+    tree.AddIndicatorProjections();
+    tree.ComputeMaterialization(all);
+    auto slots = tree.AssignAggregateSlots();
+    IvmEngine<RegressionRing> engine(&tree,
+                                     ml::RegressionLiftings(query, slots));
+    Database<RegressionRing> empty = MakeDatabase<RegressionRing>(query);
+    engine.Initialize(empty);
+    bench::RunSeries(
+        "F-IVM IND", stream,
+        [&](const UpdateStream::Batch& b) {
+          engine.ApplyDelta(b.relation,
+                            UpdateStream::ToDelta<RegressionRing>(query, b));
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+  }
+
+  {
+    ViewTree slots_tree(&query, &ds->vorder);
+    auto slots = slots_tree.AssignAggregateSlots();
+    RecursiveIvm<RegressionRing> engine(&query, all);
+    engine.AddAggregate({ml::RegressionLiftings(query, slots), {}});
+    Database<RegressionRing> empty = MakeDatabase<RegressionRing>(query);
+    engine.Initialize(empty);
+    std::printf("DBT-RING views: %d\n", engine.ViewCount());
+    bench::RunSeries(
+        "DBT-RING", stream,
+        [&](const UpdateStream::Batch& b) {
+          engine.ApplyDelta(b.relation,
+                            UpdateStream::ToDelta<RegressionRing>(query, b));
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+  }
+
+  {
+    auto aggs = ml::ScalarRegressionAggregates(query);  // m=3: 10 aggregates
+    RecursiveIvm<F64Ring> engine(&query, all);
+    for (auto& a : aggs) engine.AddAggregate({a.lifts, a.signature});
+    Database<F64Ring> empty = MakeDatabase<F64Ring>(query);
+    engine.Initialize(empty);
+    std::printf("DBT: %zu scalar aggregates, %d views (paper: 21)\n",
+                aggs.size(), engine.ViewCount());
+    bench::RunSeries(
+        "DBT", stream,
+        [&](const UpdateStream::Batch& b) {
+          engine.ApplyDelta(b.relation,
+                            UpdateStream::ToDelta<F64Ring>(query, b));
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+  }
+
+  {
+    auto aggs = ml::ScalarRegressionAggregates(query);
+    std::vector<LiftingMap<F64Ring>> lifts;
+    for (auto& a : aggs) lifts.push_back(a.lifts);
+    FirstOrderIvm<F64Ring> engine(&query, lifts);
+    Database<F64Ring> empty = MakeDatabase<F64Ring>(query);
+    engine.Initialize(empty);
+    bench::RunSeries(
+        "1-IVM", stream,
+        [&](const UpdateStream::Batch& b) {
+          engine.ApplyDelta(b.relation,
+                            UpdateStream::ToDelta<F64Ring>(query, b));
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+  }
+
+  {
+    // F-IVM ONE: S and T static, stream only R; the join of S and T is
+    // precomputed and each R update costs one lookup.
+    auto one_stream = UpdateStream::SingleRelation(0, ds->tuples[0], batch);
+    ViewTree tree(&query, &ds->vorder);
+    tree.ComputeMaterialization({0});
+    auto slots = tree.AssignAggregateSlots();
+    IvmEngine<RegressionRing> engine(&tree,
+                                     ml::RegressionLiftings(query, slots));
+    Database<RegressionRing> db = MakeDatabase<RegressionRing>(query);
+    for (int r : {1, 2}) {
+      for (const Tuple& t : ds->tuples[r]) db[r].Add(t, RegressionRing::One());
+    }
+    engine.Initialize(db);
+    bench::RunSeries(
+        "F-IVM ONE", one_stream,
+        [&](const UpdateStream::Batch& b) {
+          engine.ApplyDelta(b.relation,
+                            UpdateStream::ToDelta<RegressionRing>(query, b));
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+  }
+}
+
+}  // namespace
+}  // namespace fivm
+
+int main() {
+  fivm::bench::PrintHeader(
+      "Figure 13: cofactor over the triangle query (Twitter)");
+  fivm::Run();
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Figure 7 (left): incremental maintenance of the cofactor matrix over the
+// Retailer dataset under batched updates to all relations, plus the ONE
+// variants (updates to the largest relation only). Systems: F-IVM
+// (regression ring), SQL-OPT (degree-indexed encoding), DBT-RING (recursive
+// IVM with ring payloads), DBT and 1-IVM (scalar aggregates; variable count
+// capped via FIVM_DBT_VARS since the full 990-aggregate set times out, as
+// in the paper).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/series_runner.h"
+#include "src/baselines/first_order_ivm.h"
+#include "src/baselines/recursive_ivm.h"
+#include "src/core/ivm_engine.h"
+#include "src/core/view_tree.h"
+#include "src/ml/cofactor.h"
+#include "src/workloads/retailer.h"
+#include "src/workloads/stream.h"
+
+namespace fivm {
+namespace {
+
+using workloads::RetailerConfig;
+using workloads::RetailerDataset;
+using workloads::UpdateStream;
+
+void Run() {
+  RetailerConfig cfg;
+  int64_t scale = bench::BenchScale();
+  cfg.inventory_rows = 40000 * scale;
+  cfg.locations = 30;
+  cfg.dates = 200;
+  cfg.products = 1000;
+  auto ds = RetailerDataset::Generate(cfg);
+  const Query& query = *ds->query;
+  const size_t batch = 1000;
+
+  std::vector<int> all_rels{0, 1, 2, 3, 4};
+  auto stream = UpdateStream::RoundRobin(ds->tuples, batch);
+  std::printf("Retailer: %llu tuples, 43 attributes, batch size %zu\n",
+              static_cast<unsigned long long>(stream.total_tuples()), batch);
+
+  // --- F-IVM -----------------------------------------------------------
+  {
+    ViewTree tree(ds->query.get(), &ds->vorder);
+    tree.ComputeMaterialization(all_rels);
+    auto slots = tree.AssignAggregateSlots();
+    IvmEngine<RegressionRing> engine(&tree,
+                                     ml::RegressionLiftings(query, slots));
+    Database<RegressionRing> empty = MakeDatabase<RegressionRing>(query);
+    engine.Initialize(empty);
+    std::printf("F-IVM views: %d\n", engine.StoredViewCount());
+    bench::RunSeries(
+        "F-IVM", stream,
+        [&](const UpdateStream::Batch& b) {
+          engine.ApplyDelta(b.relation,
+                            UpdateStream::ToDelta<RegressionRing>(query, b));
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+  }
+
+  // --- SQL-OPT ----------------------------------------------------------
+  {
+    ViewTree tree(ds->query.get(), &ds->vorder);
+    tree.ComputeMaterialization(all_rels);
+    auto slots = tree.AssignAggregateSlots();
+    IvmEngine<SparseRegressionRing> engine(
+        &tree, ml::SparseRegressionLiftings(query, slots));
+    Database<SparseRegressionRing> empty =
+        MakeDatabase<SparseRegressionRing>(query);
+    engine.Initialize(empty);
+    bench::RunSeries(
+        "SQL-OPT", stream,
+        [&](const UpdateStream::Batch& b) {
+          engine.ApplyDelta(
+              b.relation,
+              UpdateStream::ToDelta<SparseRegressionRing>(query, b));
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+  }
+
+  // --- DBT-RING ---------------------------------------------------------
+  {
+    ViewTree slots_tree(ds->query.get(), &ds->vorder);
+    auto slots = slots_tree.AssignAggregateSlots();
+    RecursiveIvm<RegressionRing> engine(ds->query.get(), all_rels);
+    engine.AddAggregate({ml::RegressionLiftings(query, slots), {}});
+    Database<RegressionRing> empty = MakeDatabase<RegressionRing>(query);
+    engine.Initialize(empty);
+    std::printf("DBT-RING views: %d\n", engine.ViewCount());
+    bench::RunSeries(
+        "DBT-RING", stream,
+        [&](const UpdateStream::Batch& b) {
+          engine.ApplyDelta(b.relation,
+                            UpdateStream::ToDelta<RegressionRing>(query, b));
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+  }
+
+  // --- DBT (scalar aggregates, capped variable set) ----------------------
+  size_t dbt_vars = static_cast<size_t>(bench::EnvInt("FIVM_DBT_VARS", 6));
+  {
+    auto aggs = ml::ScalarRegressionAggregates(query, dbt_vars);
+    RecursiveIvm<F64Ring> engine(ds->query.get(), all_rels);
+    for (auto& a : aggs) engine.AddAggregate({a.lifts, a.signature});
+    Database<F64Ring> empty = MakeDatabase<F64Ring>(query);
+    engine.Initialize(empty);
+    std::printf("DBT: %zu scalar aggregates over first %zu vars, %d views\n",
+                aggs.size(), dbt_vars, engine.ViewCount());
+    bench::RunSeries(
+        "DBT",
+        stream,
+        [&](const UpdateStream::Batch& b) {
+          engine.ApplyDelta(b.relation,
+                            UpdateStream::ToDelta<F64Ring>(query, b));
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+  }
+
+  // --- 1-IVM (scalar aggregates, capped) ----------------------------------
+  {
+    auto aggs = ml::ScalarRegressionAggregates(query, dbt_vars);
+    std::vector<LiftingMap<F64Ring>> lifts;
+    for (auto& a : aggs) lifts.push_back(a.lifts);
+    FirstOrderIvm<F64Ring> engine(ds->query.get(), lifts);
+    Database<F64Ring> empty = MakeDatabase<F64Ring>(query);
+    engine.Initialize(empty);
+    std::printf("1-IVM: %zu scalar aggregates (%d stored maps)\n",
+                aggs.size(), engine.StoredViewCount());
+    bench::RunSeries(
+        "1-IVM", stream,
+        [&](const UpdateStream::Batch& b) {
+          engine.ApplyDelta(b.relation,
+                            UpdateStream::ToDelta<F64Ring>(query, b));
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+  }
+
+  // --- ONE variants: updates to Inventory only ---------------------------
+  auto one_stream =
+      UpdateStream::SingleRelation(ds->inventory, ds->tuples[ds->inventory],
+                                   batch);
+  auto static_db_for = [&](auto ring_tag) {
+    using Ring = decltype(ring_tag);
+    Database<Ring> db = MakeDatabase<Ring>(query);
+    for (int r = 0; r < query.relation_count(); ++r) {
+      if (r == ds->inventory) continue;
+      for (const Tuple& t : ds->tuples[r]) db[r].Add(t, Ring::One());
+    }
+    return db;
+  };
+
+  {
+    ViewTree tree(ds->query.get(), &ds->vorder);
+    tree.ComputeMaterialization({ds->inventory});
+    auto slots = tree.AssignAggregateSlots();
+    IvmEngine<RegressionRing> engine(&tree,
+                                     ml::RegressionLiftings(query, slots));
+    engine.Initialize(static_db_for(RegressionRing{}));
+    std::printf("F-IVM ONE views: %d\n", engine.StoredViewCount());
+    bench::RunSeries(
+        "F-IVM ONE", one_stream,
+        [&](const UpdateStream::Batch& b) {
+          engine.ApplyDelta(b.relation,
+                            UpdateStream::ToDelta<RegressionRing>(query, b));
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+  }
+  {
+    ViewTree tree(ds->query.get(), &ds->vorder);
+    tree.ComputeMaterialization({ds->inventory});
+    auto slots = tree.AssignAggregateSlots();
+    IvmEngine<SparseRegressionRing> engine(
+        &tree, ml::SparseRegressionLiftings(query, slots));
+    engine.Initialize(static_db_for(SparseRegressionRing{}));
+    bench::RunSeries(
+        "SQL-OPT ONE", one_stream,
+        [&](const UpdateStream::Batch& b) {
+          engine.ApplyDelta(
+              b.relation,
+              UpdateStream::ToDelta<SparseRegressionRing>(query, b));
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+  }
+}
+
+}  // namespace
+}  // namespace fivm
+
+int main() {
+  fivm::bench::PrintHeader(
+      "Figure 7 (left): cofactor matrix maintenance, Retailer");
+  fivm::Run();
+  return 0;
+}

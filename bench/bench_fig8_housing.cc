@@ -1,0 +1,138 @@
+// Figure 8 (right): maintaining the natural join of Housing under updates
+// to all relations, across scale factors. The listing representations grow
+// cubically with the scale factor while the factorized representation grows
+// linearly — the root's children map 'postcode' values to per-relation
+// payloads regardless of scale.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/ivm_engine.h"
+#include "src/core/view_tree.h"
+#include "src/rings/relational_ring.h"
+#include "src/util/timer.h"
+#include "src/workloads/housing.h"
+#include "src/workloads/stream.h"
+
+namespace fivm {
+namespace {
+
+using workloads::HousingConfig;
+using workloads::HousingDataset;
+using workloads::UpdateStream;
+
+struct ModeResult {
+  double seconds = -1.0;  // < 0: timed out
+  double mem_mb = 0.0;
+};
+
+template <typename Ring, typename MakeLifts>
+ModeResult RunMode(HousingDataset& ds, bool retain, MakeLifts&& make_lifts) {
+  Query& query = *ds.query;
+  query.SetFreeVars(Schema{});
+  ViewTree::Options opts;
+  opts.retain_vars = retain;
+  ViewTree tree(&query, &ds.vorder, opts);
+  tree.ComputeMaterialization({0, 1, 2, 3, 4, 5});
+  IvmEngine<Ring> engine(&tree, make_lifts(query));
+  Database<Ring> db = MakeDatabase<Ring>(query);
+  engine.Initialize(db);
+
+  auto stream = UpdateStream::RoundRobin(ds.tuples, 1000);
+  util::Timer timer;
+  double budget = bench::BudgetSeconds();
+  for (const auto& b : stream.batches()) {
+    engine.ApplyDelta(b.relation, UpdateStream::ToDelta<Ring>(query, b));
+    if (timer.ElapsedSeconds() > budget) {
+      return ModeResult{-timer.ElapsedSeconds(),
+                        engine.TotalBytes() / 1e6};
+    }
+  }
+  return ModeResult{timer.ElapsedSeconds(), engine.TotalBytes() / 1e6};
+}
+
+void Run() {
+  std::vector<int> scales{1, 2, 4, 6};
+  if (bench::BenchScale() > 1) {
+    scales.push_back(10);
+    scales.push_back(14);
+  }
+  std::printf("%-6s  %-28s %-28s %-28s\n", "scale", "Fact payloads",
+              "List payloads", "List keys");
+
+  for (int scale : scales) {
+    HousingConfig cfg;
+    cfg.postcodes = 500;
+    cfg.scale = scale;
+
+    auto print = [](const ModeResult& r) {
+      char buf[64];
+      if (r.seconds < 0) {
+        std::snprintf(buf, sizeof(buf), "TIMEOUT(%5.1fs) %8.1fMB",
+                      -r.seconds, r.mem_mb);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%8.3fs %10.1fMB", r.seconds,
+                      r.mem_mb);
+      }
+      std::printf(" %-28s", buf);
+    };
+
+    std::printf("%-6d", scale);
+    {
+      auto ds = HousingDataset::Generate(cfg);
+      print(RunMode<I64Ring>(*ds, /*retain=*/true, [](const Query&) {
+        return LiftingMap<I64Ring>{};
+      }));
+    }
+    {
+      auto ds = HousingDataset::Generate(cfg);
+      print(RunMode<RelationalRing>(
+          *ds, /*retain=*/false, [](const Query& q) {
+            LiftingMap<RelationalRing> lifts;
+            for (VarId v : q.AllVars()) lifts.Set(v, RelationalLifting(v));
+            return lifts;
+          }));
+    }
+    {
+      auto ds = HousingDataset::Generate(cfg);
+      Query& query = *ds->query;
+      query.SetFreeVars(query.AllVars());
+      ViewTree tree(&query, &ds->vorder);
+      tree.ComputeMaterialization({0, 1, 2, 3, 4, 5});
+      IvmEngine<I64Ring> engine(&tree, LiftingMap<I64Ring>{});
+      Database<I64Ring> db = MakeDatabase<I64Ring>(query);
+      engine.Initialize(db);
+      auto stream = UpdateStream::RoundRobin(ds->tuples, 1000);
+      util::Timer timer;
+      double budget = bench::BudgetSeconds();
+      ModeResult r;
+      bool done = true;
+      for (const auto& b : stream.batches()) {
+        engine.ApplyDelta(b.relation,
+                          UpdateStream::ToDelta<I64Ring>(query, b));
+        if (timer.ElapsedSeconds() > budget) {
+          r = ModeResult{-timer.ElapsedSeconds(),
+                         engine.TotalBytes() / 1e6};
+          done = false;
+          break;
+        }
+      }
+      if (done) {
+        r = ModeResult{timer.ElapsedSeconds(), engine.TotalBytes() / 1e6};
+      }
+      print(r);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace fivm
+
+int main() {
+  fivm::bench::PrintHeader(
+      "Figure 8 (right): Housing natural join across scale factors");
+  fivm::Run();
+  return 0;
+}

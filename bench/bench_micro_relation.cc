@@ -1,0 +1,114 @@
+// Micro benchmarks for the keyed-relation substrate: point updates, index
+// probes, joins, and marginalization — the inner loops of every IVM
+// strategy in the figure harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "src/data/relation.h"
+#include "src/data/relation_ops.h"
+#include "src/rings/lifting.h"
+#include "src/rings/ring.h"
+#include "src/util/rng.h"
+
+namespace fivm {
+namespace {
+
+Relation<I64Ring> RandomRelation(size_t n, int64_t key_domain,
+                                 util::Rng& rng) {
+  Relation<I64Ring> rel(Schema{0, 1});
+  for (size_t i = 0; i < n; ++i) {
+    rel.Add(Tuple::Ints({rng.UniformInt(0, key_domain),
+                         rng.UniformInt(0, key_domain)}),
+            1);
+  }
+  return rel;
+}
+
+void BM_RelationAdd(benchmark::State& state) {
+  util::Rng rng(1);
+  Relation<I64Ring> rel(Schema{0, 1});
+  int64_t i = 0;
+  for (auto _ : state) {
+    rel.Add(Tuple::Ints({i & 0xffff, i >> 16}), 1);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelationAdd);
+
+void BM_RelationFind(benchmark::State& state) {
+  util::Rng rng(2);
+  auto rel = RandomRelation(100000, 1 << 16, rng);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rel.Find(Tuple::Ints({i % (1 << 16), (i * 7) % (1 << 16)})));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelationFind);
+
+void BM_SecondaryIndexProbe(benchmark::State& state) {
+  util::Rng rng(3);
+  auto rel = RandomRelation(100000, 1 << 10, rng);
+  const auto& idx = rel.IndexOn(Schema{0});
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Probe(Tuple::Ints({i % (1 << 10)})));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SecondaryIndexProbe);
+
+void BM_Join(benchmark::State& state) {
+  util::Rng rng(4);
+  size_t n = static_cast<size_t>(state.range(0));
+  Relation<I64Ring> left(Schema{0, 1});
+  Relation<I64Ring> right(Schema{1, 2});
+  for (size_t i = 0; i < n; ++i) {
+    left.Add(Tuple::Ints({rng.UniformInt(0, 999), rng.UniformInt(0, 99)}), 1);
+    right.Add(Tuple::Ints({rng.UniformInt(0, 99), rng.UniformInt(0, 999)}),
+              1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Join(left, right));
+  }
+}
+BENCHMARK(BM_Join)->Arg(1000)->Arg(10000);
+
+void BM_JoinAndMarginalize(benchmark::State& state) {
+  util::Rng rng(5);
+  size_t n = static_cast<size_t>(state.range(0));
+  Relation<I64Ring> left(Schema{0, 1});
+  Relation<I64Ring> right(Schema{1, 2});
+  for (size_t i = 0; i < n; ++i) {
+    left.Add(Tuple::Ints({rng.UniformInt(0, 999), rng.UniformInt(0, 99)}), 1);
+    right.Add(Tuple::Ints({rng.UniformInt(0, 99), rng.UniformInt(0, 999)}),
+              1);
+  }
+  LiftingMap<I64Ring> lifts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JoinAndMarginalize(left, right, Schema{1, 2}, lifts));
+  }
+}
+BENCHMARK(BM_JoinAndMarginalize)->Arg(1000)->Arg(10000);
+
+void BM_Marginalize(benchmark::State& state) {
+  util::Rng rng(6);
+  auto rel = RandomRelation(static_cast<size_t>(state.range(0)), 1 << 10,
+                            rng);
+  LiftingMap<I64Ring> lifts;
+  lifts.Set(1, [](const Value& x) { return x.AsInt(); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Marginalize(rel, Schema{1}, lifts));
+  }
+}
+BENCHMARK(BM_Marginalize)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace fivm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Micro benchmarks for ring operations (supporting the analysis of the
+// figure harnesses): dense vs degree-indexed regression payload algebra,
+// relational-ring joins, and lifting costs.
+
+#include <benchmark/benchmark.h>
+
+#include "src/rings/regression_ring.h"
+#include "src/rings/relational_ring.h"
+#include "src/rings/sparse_regression_ring.h"
+#include "src/util/rng.h"
+
+namespace fivm {
+namespace {
+
+RegressionPayload DensePayload(uint32_t lo, uint32_t width, util::Rng& rng) {
+  RegressionPayload p = RegressionPayload::Count(1.0);
+  for (uint32_t i = 0; i < width; ++i) {
+    p = Mul(p, RegressionPayload::Lift(lo + i, rng.UniformDouble(-1, 1)));
+  }
+  return p;
+}
+
+SparseRegressionPayload SparsePayload(uint32_t lo, uint32_t width,
+                                      util::Rng& rng) {
+  SparseRegressionPayload p = SparseRegressionPayload::Count(1.0);
+  for (uint32_t i = 0; i < width; ++i) {
+    p = Mul(p,
+            SparseRegressionPayload::Lift(lo + i, rng.UniformDouble(-1, 1)));
+  }
+  return p;
+}
+
+void BM_RegressionMulDense(benchmark::State& state) {
+  util::Rng rng(1);
+  uint32_t width = static_cast<uint32_t>(state.range(0));
+  auto a = DensePayload(0, width, rng);
+  auto b = DensePayload(width, width, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mul(a, b));
+  }
+}
+BENCHMARK(BM_RegressionMulDense)->Arg(2)->Arg(8)->Arg(21);
+
+void BM_RegressionMulSparse(benchmark::State& state) {
+  util::Rng rng(1);
+  uint32_t width = static_cast<uint32_t>(state.range(0));
+  auto a = SparsePayload(0, width, rng);
+  auto b = SparsePayload(width, width, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mul(a, b));
+  }
+}
+BENCHMARK(BM_RegressionMulSparse)->Arg(2)->Arg(8)->Arg(21);
+
+void BM_RegressionAddInPlace(benchmark::State& state) {
+  util::Rng rng(2);
+  uint32_t width = static_cast<uint32_t>(state.range(0));
+  auto acc = DensePayload(0, 2 * width, rng);
+  auto d = DensePayload(width / 2, width, rng);
+  for (auto _ : state) {
+    acc.AddInPlace(d);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_RegressionAddInPlace)->Arg(4)->Arg(16);
+
+void BM_RegressionLift(benchmark::State& state) {
+  double x = 3.25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RegressionPayload::Lift(7, x));
+  }
+}
+BENCHMARK(BM_RegressionLift);
+
+void BM_RelationalRingCartesian(benchmark::State& state) {
+  int64_t n = state.range(0);
+  PayloadRelation a, b;
+  for (int64_t i = 0; i < n; ++i) {
+    a = Add(a, PayloadRelation::Singleton(0, Value::Int(i)));
+    b = Add(b, PayloadRelation::Singleton(1, Value::Int(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mul(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RelationalRingCartesian)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RelationalRingUnion(benchmark::State& state) {
+  int64_t n = state.range(0);
+  util::Rng rng(3);
+  PayloadRelation a, b;
+  for (int64_t i = 0; i < n; ++i) {
+    a = Add(a, PayloadRelation::Singleton(0, Value::Int(rng.UniformInt(0, n))));
+    b = Add(b, PayloadRelation::Singleton(0, Value::Int(rng.UniformInt(0, n))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Add(a, b));
+  }
+}
+BENCHMARK(BM_RelationalRingUnion)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace fivm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+#ifndef FIVM_BENCH_SERIES_RUNNER_H_
+#define FIVM_BENCH_SERIES_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "src/util/timer.h"
+#include "src/workloads/stream.h"
+
+namespace fivm::bench {
+
+/// Drives one maintenance strategy over an update stream, printing a
+/// throughput/memory series at every decile of the stream (the x-axis of
+/// Figures 7, 8 and 13). Strategies exceeding the time budget are cut off
+/// and reported as timeouts, mirroring the paper's one-hour limit.
+///
+/// `apply` processes one batch; `memory_mb` reports the strategy's current
+/// view memory.
+inline void RunSeries(const char* system,
+                      const workloads::UpdateStream& stream,
+                      const std::function<void(
+                          const workloads::UpdateStream::Batch&)>& apply,
+                      const std::function<double()>& memory_mb,
+                      int report_points = 5) {
+  const double budget = BudgetSeconds();
+  const uint64_t total = stream.total_tuples();
+  uint64_t processed = 0;
+  uint64_t last_reported = 0;
+  uint64_t next_report = total / report_points;
+  util::Timer timer;
+  for (const auto& batch : stream.batches()) {
+    apply(batch);
+    processed += batch.tuples.size();
+    double elapsed = timer.ElapsedSeconds();
+    if (elapsed > budget) {
+      PrintTimeoutRow(system, static_cast<double>(processed) / total,
+                      processed, elapsed);
+      return;
+    }
+    if (processed >= next_report) {
+      PrintSeriesRow(system, static_cast<double>(processed) / total,
+                     processed, elapsed, memory_mb());
+      last_reported = processed;
+      next_report += total / report_points;
+    }
+  }
+  if (processed != last_reported) {
+    PrintSeriesRow(system, 1.0, processed, timer.ElapsedSeconds(),
+                   memory_mb());
+  }
+}
+
+}  // namespace fivm::bench
+
+#endif  // FIVM_BENCH_SERIES_RUNNER_H_

@@ -1,0 +1,80 @@
+// Factorized representations of conjunctive query results (Section 6.3):
+// maintain the natural join of the Housing relations under updates, keeping
+// the result factorized over the variable order, then enumerate tuples with
+// constant delay — while the listing representation would grow cubically
+// with the scale factor.
+//
+// Build and run:  ./build/examples/factorized_join
+
+#include <cstdio>
+
+#include "src/core/factorized_result.h"
+#include "src/core/ivm_engine.h"
+#include "src/core/view_tree.h"
+#include "src/rings/relational_ring.h"
+#include "src/workloads/housing.h"
+#include "src/workloads/stream.h"
+
+using namespace fivm;
+
+int main() {
+  workloads::HousingConfig cfg;
+  cfg.postcodes = 50;
+  cfg.scale = 3;
+  auto ds = workloads::HousingDataset::Generate(cfg);
+  Query& query = *ds->query;
+
+  // --- Factorized: every view stores its own variable's unions ----------
+  ViewTree::Options opts;
+  opts.retain_vars = true;
+  ViewTree fact_tree(&query, &ds->vorder, opts);
+  fact_tree.MaterializeAll();
+  IvmEngine<I64Ring> fact(&fact_tree, LiftingMap<I64Ring>{});
+  Database<I64Ring> zdb = MakeDatabase<I64Ring>(query);
+  fact.Initialize(zdb);
+
+  // --- Listing: the same result as one relational-ring payload ----------
+  ViewTree list_tree(&query, &ds->vorder);
+  list_tree.MaterializeAll();
+  LiftingMap<RelationalRing> list_lifts;
+  for (VarId v : query.AllVars()) list_lifts.Set(v, RelationalLifting(v));
+  IvmEngine<RelationalRing> listing(&list_tree, list_lifts);
+  Database<RelationalRing> rdb = MakeDatabase<RelationalRing>(query);
+  listing.Initialize(rdb);
+
+  auto stream = workloads::UpdateStream::RoundRobin(ds->tuples, 200);
+  for (const auto& batch : stream.batches()) {
+    fact.ApplyDelta(batch.relation,
+                    workloads::UpdateStream::ToDelta<I64Ring>(query, batch));
+    listing.ApplyDelta(
+        batch.relation,
+        workloads::UpdateStream::ToDelta<RelationalRing>(query, batch));
+  }
+
+  FactorizedEnumerator<I64Ring> enumerator(&fact);
+  size_t fact_tuples = enumerator.Count();
+  const PayloadRelation* listing_payload = listing.result().Find(Tuple());
+  std::printf("join result: %zu tuples (listing payload holds %zu)\n",
+              fact_tuples, listing_payload ? listing_payload->size() : 0);
+  std::printf("memory: factorized %.2f MB vs listing %.2f MB\n",
+              fact.TotalBytes() / 1e6, listing.TotalBytes() / 1e6);
+
+  // Enumerate a few tuples straight out of the factorization.
+  std::printf("first tuples over %zu attributes:\n",
+              enumerator.schema().size());
+  size_t shown = 0;
+  enumerator.Enumerate([&](const Tuple& t) {
+    if (shown < 3) {
+      std::printf("  %s\n", t.ToString().c_str());
+      ++shown;
+    }
+  });
+
+  // A delete retracts all tuples that depended on the removed row.
+  Relation<I64Ring> del(query.relation(ds->house).schema);
+  del.Add(Tuple(ds->tuples[ds->house][0]), -1);
+  fact.ApplyDelta(ds->house, del);
+  std::printf("after deleting one House row: %zu tuples\n",
+              enumerator.Count());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Cyclic queries and indicator projections (Appendix B): count triangles in
+// a skewed graph incrementally. The plain view tree materializes a
+// quadratically large intermediate view; extending it with the indicator
+// projection ∃_{A,B} R bounds that view by |R| while keeping updates to all
+// three relations incremental.
+//
+// Build and run:  ./build/examples/triangle_cyclic
+
+#include <cstdio>
+
+#include "src/core/gyo.h"
+#include "src/core/ivm_engine.h"
+#include "src/core/view_tree.h"
+#include "src/workloads/stream.h"
+#include "src/workloads/twitter.h"
+
+using namespace fivm;
+
+int main() {
+  workloads::TwitterConfig cfg;
+  cfg.nodes = 500;
+  cfg.edges = 6000;
+  auto ds = workloads::TwitterDataset::Generate(cfg);
+  Query& query = *ds->query;
+
+  // The triangle hypergraph is cyclic — GYO reduction does not empty it.
+  std::printf("triangle query cyclic: %s\n",
+              IsAcyclic({query.relation(0).schema, query.relation(1).schema,
+                         query.relation(2).schema})
+                  ? "no"
+                  : "yes");
+
+  ViewTree plain(&query, &ds->vorder);
+  plain.ComputeMaterialization({0, 1, 2});
+
+  ViewTree indexed(&query, &ds->vorder);
+  int added = indexed.AddIndicatorProjections();
+  indexed.ComputeMaterialization({0, 1, 2});
+  std::printf("indicator projections added: %d\n%s\n", added,
+              indexed.ToString().c_str());
+
+  IvmEngine<I64Ring> plain_engine(&plain, LiftingMap<I64Ring>{});
+  IvmEngine<I64Ring> ind_engine(&indexed, LiftingMap<I64Ring>{});
+  Database<I64Ring> db = MakeDatabase<I64Ring>(query);
+  plain_engine.Initialize(db);
+  ind_engine.Initialize(db);
+
+  auto stream = workloads::UpdateStream::RoundRobin(ds->tuples, 500);
+  for (const auto& batch : stream.batches()) {
+    auto delta = workloads::UpdateStream::ToDelta<I64Ring>(query, batch);
+    plain_engine.ApplyDelta(batch.relation, delta);
+    ind_engine.ApplyDelta(batch.relation, delta);
+  }
+
+  const int64_t* count = ind_engine.result().Find(Tuple());
+  const int64_t* check = plain_engine.result().Find(Tuple());
+  std::printf("triangles (with multiplicity): %lld (plain engine agrees: "
+              "%s)\n",
+              static_cast<long long>(count ? *count : 0),
+              (count ? *count : 0) == (check ? *check : 0) ? "yes" : "NO");
+
+  // The indicator bounds the intermediate view at C.
+  int vc_plain = plain.node(plain.LeafOfRelation(1)).parent;
+  int vc_ind = indexed.node(indexed.LeafOfRelation(1)).parent;
+  std::printf("V@C_ST keys: plain %zu vs indicator-bounded %zu\n",
+              plain_engine.store(vc_plain).size(),
+              ind_engine.store(vc_ind).size());
+  std::printf("view memory: plain %.2f MB vs indicator %.2f MB\n",
+              plain_engine.TotalBytes() / 1e6,
+              ind_engine.TotalBytes() / 1e6);
+  return 0;
+}

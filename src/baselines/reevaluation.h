@@ -1,0 +1,28 @@
+#ifndef FIVM_BASELINES_REEVALUATION_H_
+#define FIVM_BASELINES_REEVALUATION_H_
+
+#include "src/core/query.h"
+#include "src/data/relation.h"
+#include "src/data/relation_ops.h"
+#include "src/rings/lifting.h"
+#include "src/rings/ring.h"
+
+namespace fivm {
+
+/// Naive re-evaluation (the DBT-RE baseline of Appendix C): materializes the
+/// full join result in listing representation, then aggregates. Contrast
+/// with IvmEngine<Ring>::Evaluate (F-RE), which evaluates over a view tree
+/// with aggregates pushed past joins.
+template <typename Ring>
+Relation<Ring> NaiveReevaluate(const Query& query, const Database<Ring>& db,
+                               const LiftingMap<Ring>& lifts) {
+  Relation<Ring> acc = db[0];
+  for (int i = 1; i < query.relation_count(); ++i) {
+    acc = Join(acc, db[i]);
+  }
+  return Marginalize(acc, acc.schema().Minus(query.free_vars()), lifts);
+}
+
+}  // namespace fivm
+
+#endif  // FIVM_BASELINES_REEVALUATION_H_

@@ -1,0 +1,119 @@
+#ifndef FIVM_CORE_FACTORIZED_RESULT_H_
+#define FIVM_CORE_FACTORIZED_RESULT_H_
+
+#include <cassert>
+#include <functional>
+#include <vector>
+
+#include "src/core/ivm_engine.h"
+#include "src/core/view_tree.h"
+#include "src/data/schema.h"
+#include "src/data/tuple.h"
+
+namespace fivm {
+
+/// Enumerates the tuples of a query result from its *factorized
+/// representation* (Section 6.3): the per-view stores of an engine running
+/// in retain_vars mode, which together form a factorization of the result
+/// over the variable order. No listing representation is ever materialized;
+/// each result tuple is assembled by walking the variable-order DFS and
+/// probing one store per variable (constant delay per tuple, up to the
+/// secondary-index probes).
+///
+/// Enumeration yields *distinct* tuples over all retained variables;
+/// project onto the query's free variables for the conjunctive-query result
+/// (Example 6.6: bound-variable unions are simply discarded). Pruning
+/// relies on zero-payload suppression, so multiplicities are assumed
+/// non-negative (insert-dominated workloads).
+template <typename Ring>
+class FactorizedEnumerator {
+ public:
+  explicit FactorizedEnumerator(const IvmEngine<Ring>* engine)
+      : engine_(engine) {
+    const ViewTree& tree = engine->tree();
+    assert(tree.options().retain_vars &&
+           "factorized enumeration requires retain_vars mode");
+    // Pre-order over variable nodes that retain their variable; ancestors
+    // precede descendants, so every store's key prefix is assigned when the
+    // node is visited.
+    CollectPreOrder(tree.root());
+    for (int n : order_) {
+      schema_.Add(tree.node(n).retained_vars[0]);
+    }
+  }
+
+  /// Schema of emitted tuples: retained variables in DFS pre-order.
+  const Schema& schema() const { return schema_; }
+
+  /// Calls `fn` once per distinct result tuple (over schema()).
+  void Enumerate(const std::function<void(const Tuple&)>& fn) const {
+    if (order_.empty()) return;
+    std::vector<Value> assignment(schema_.size());
+    Recurse(0, assignment, fn);
+  }
+
+  /// Number of distinct result tuples.
+  size_t Count() const {
+    size_t n = 0;
+    Enumerate([&](const Tuple&) { ++n; });
+    return n;
+  }
+
+ private:
+  void CollectPreOrder(int idx) {
+    const ViewTree::Node& n = engine_->tree().node(idx);
+    if (n.relation < 0 && n.indicator_for < 0) {
+      if (!n.retained_vars.empty()) order_.push_back(idx);
+      for (int c : n.children) CollectPreOrder(c);
+    }
+  }
+
+  void Recurse(size_t level, std::vector<Value>& assignment,
+               const std::function<void(const Tuple&)>& fn) const {
+    if (level == order_.size()) {
+      Tuple t;
+      for (const Value& v : assignment) t.Append(v);
+      fn(t);
+      return;
+    }
+    const ViewTree::Node& n = engine_->tree().node(order_[level]);
+    const Relation<Ring>& store = engine_->store(order_[level]);
+    VarId var = n.retained_vars[0];
+    int var_pos_in_store = store.schema().PositionOf(var);
+    assert(var_pos_in_store >= 0);
+
+    // Probe the store on its key prefix (everything but the retained var),
+    // which is fully assigned by ancestor levels.
+    Schema prefix = store.schema().Minus(Schema{var});
+    Tuple key;
+    for (VarId v : prefix) {
+      key.Append(assignment[static_cast<size_t>(schema_.PositionOf(v))]);
+    }
+    size_t out_pos = static_cast<size_t>(schema_.PositionOf(var));
+
+    if (prefix.empty()) {
+      store.ForEach([&](const Tuple& k, const typename Ring::Element&) {
+        assignment[out_pos] = k[static_cast<size_t>(var_pos_in_store)];
+        Recurse(level + 1, assignment, fn);
+      });
+      return;
+    }
+    const auto& index = store.IndexOn(prefix);
+    const auto* slots = index.Probe(key);
+    if (slots == nullptr) return;
+    for (uint32_t slot : *slots) {
+      const auto& entry = store.EntryAt(slot);
+      if (Ring::IsZero(entry.payload)) continue;
+      assignment[out_pos] = entry.key[static_cast<size_t>(var_pos_in_store)];
+      Recurse(level + 1, assignment, fn);
+    }
+  }
+
+  const IvmEngine<Ring>* engine_;
+  std::vector<int> order_;
+  Schema schema_;
+};
+
+}  // namespace fivm
+
+#endif  // FIVM_CORE_FACTORIZED_RESULT_H_

@@ -1,0 +1,59 @@
+#include "src/core/gyo.h"
+
+namespace fivm {
+
+std::vector<int> GyoCyclicCore(const std::vector<Schema>& edges) {
+  std::vector<Schema> work = edges;
+  std::vector<bool> removed(edges.size(), false);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Rule 1: drop variables that occur in exactly one remaining edge.
+    for (size_t i = 0; i < work.size(); ++i) {
+      if (removed[i]) continue;
+      Schema kept;
+      for (VarId v : work[i]) {
+        bool elsewhere = false;
+        for (size_t j = 0; j < work.size(); ++j) {
+          if (j == i || removed[j]) continue;
+          if (work[j].Contains(v)) elsewhere = true;
+        }
+        if (elsewhere) kept.Add(v);
+      }
+      if (kept.size() != work[i].size()) {
+        work[i] = kept;
+        changed = true;
+      }
+    }
+    // Rule 2: drop empty edges and edges contained in another edge.
+    for (size_t i = 0; i < work.size(); ++i) {
+      if (removed[i]) continue;
+      if (work[i].empty()) {
+        removed[i] = true;
+        changed = true;
+        continue;
+      }
+      for (size_t j = 0; j < work.size(); ++j) {
+        if (i == j || removed[j]) continue;
+        if (work[j].ContainsAll(work[i])) {
+          removed[i] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<int> core;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (!removed[i]) core.push_back(static_cast<int>(i));
+  }
+  return core;
+}
+
+bool IsAcyclic(const std::vector<Schema>& edges) {
+  return GyoCyclicCore(edges).empty();
+}
+
+}  // namespace fivm

@@ -1,0 +1,25 @@
+#ifndef FIVM_CORE_GYO_H_
+#define FIVM_CORE_GYO_H_
+
+#include <vector>
+
+#include "src/data/schema.h"
+
+namespace fivm {
+
+/// GYO (Graham / Yu–Ozsoyoglu) hypergraph reduction. Repeatedly removes
+/// "ear" structure: variables occurring in a single hyperedge, and edges
+/// contained in other edges. The query hypergraph is (alpha-)acyclic iff the
+/// reduction empties it; otherwise the surviving edges form the cyclic core.
+///
+/// Returns the indices (into `edges`) of the hyperedges that survive —
+/// used by the indicator-projection algorithm (Figure 10) to decide which
+/// candidate projections participate in a cycle.
+std::vector<int> GyoCyclicCore(const std::vector<Schema>& edges);
+
+/// Convenience: true iff the hypergraph is acyclic.
+bool IsAcyclic(const std::vector<Schema>& edges);
+
+}  // namespace fivm
+
+#endif  // FIVM_CORE_GYO_H_

@@ -1,0 +1,399 @@
+#ifndef FIVM_CORE_IVM_ENGINE_H_
+#define FIVM_CORE_IVM_ENGINE_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/core/view_tree.h"
+#include "src/data/relation.h"
+#include "src/data/relation_ops.h"
+#include "src/rings/lifting.h"
+#include "src/rings/ring.h"
+
+namespace fivm {
+
+/// F-IVM: the factorized higher-order incremental view maintenance engine
+/// (Section 4). Owns the materialized stores of a view tree and implements
+/// the IVM triggers: an update to relation R propagates delta views along
+/// the single leaf-to-root path of R, joining each delta with the
+/// materialized sibling views (Figure 4).
+///
+/// ApplyFactorizedDelta additionally implements the Optimize step of
+/// Section 5: a delta given as a product of factors is propagated without
+/// materializing its Cartesian product — sibling views join into the factor
+/// they share variables with, and marginalization is pushed into the factor
+/// that owns each variable.
+///
+/// If the tree carries indicator projections (Appendix B), updates to an
+/// indicated relation trigger a second, sequential propagation from each
+/// indicator leaf; per-key support counts (Example B.2) turn base-relation
+/// deltas into indicator deltas.
+template <typename Ring>
+class IvmEngine {
+ public:
+  using Element = typename Ring::Element;
+
+  /// `tree` must outlive the engine and must already carry a
+  /// materialization plan (ComputeMaterialization / MaterializeAll).
+  IvmEngine(const ViewTree* tree, LiftingMap<Ring> lifts)
+      : tree_(tree), lifts_(std::move(lifts)) {
+    stores_.reserve(tree_->nodes().size());
+    counts_.resize(tree_->nodes().size());
+    for (size_t i = 0; i < tree_->nodes().size(); ++i) {
+      const auto& n = tree_->node(static_cast<int>(i));
+      stores_.emplace_back(n.store_schema);
+      if (n.indicator_for >= 0) {
+        counts_[i] = Relation<I64Ring>(n.out_schema);
+      }
+    }
+  }
+
+  const ViewTree& tree() const { return *tree_; }
+  const LiftingMap<Ring>& lifts() const { return lifts_; }
+
+  /// The maintained query result (root view).
+  const Relation<Ring>& result() const { return stores_[tree_->root()]; }
+
+  /// The materialized store of view `node` (empty if not materialized).
+  const Relation<Ring>& store(int node) const { return stores_[node]; }
+
+  /// Bulk-loads an initial database: evaluates the whole tree bottom-up and
+  /// fills every materialized store.
+  void Initialize(const Database<Ring>& db) {
+    for (auto& s : stores_) s.Clear();
+    EvalOut(tree_->root(), db);
+  }
+
+  /// Applies an update δR to relation `relation` (Figure 4 delta tree):
+  /// propagates delta views leaf-to-root and refreshes every materialized
+  /// store on the path, then propagates any indicator deltas sequentially.
+  void ApplyDelta(int relation, const Relation<Ring>& delta) {
+    // Indicator deltas are derived from the pre-update base relation.
+    std::vector<std::pair<int, Relation<Ring>>> indicator_deltas;
+    for (int leaf : tree_->IndicatorLeavesOfRelation(relation)) {
+      indicator_deltas.emplace_back(leaf,
+                                    ComputeIndicatorDelta(leaf, delta));
+    }
+
+    int leaf = tree_->LeafOfRelation(relation);
+    if (tree_->node(leaf).materialized) AbsorbInto(stores_[leaf], delta);
+    PropagateUp(leaf,
+                ReorderIfNeeded(delta, tree_->node(leaf).out_schema));
+
+    for (auto& [ind_leaf, ind_delta] : indicator_deltas) {
+      if (ind_delta.empty()) continue;
+      if (tree_->node(ind_leaf).materialized) {
+        AbsorbInto(stores_[ind_leaf], ind_delta);
+      }
+      PropagateUp(ind_leaf, std::move(ind_delta));
+    }
+  }
+
+  /// A bulk of updates to distinct relations is handled as a sequence of
+  /// single-relation updates (Section 4, "IVM Triggers").
+  void ApplyUpdates(
+      const std::vector<std::pair<int, Relation<Ring>>>& deltas) {
+    for (const auto& [relation, delta] : deltas) {
+      ApplyDelta(relation, delta);
+    }
+  }
+
+  /// Applies a factorizable update δR = factors[0] ⊗ ... ⊗ factors[k-1]
+  /// (disjoint schemas covering sch(R)) without materializing the product
+  /// except where a store on the path requires it (Section 5).
+  void ApplyFactorizedDelta(int relation,
+                            std::vector<Relation<Ring>> factors) {
+    assert(!factors.empty());
+    if (!tree_->IndicatorLeavesOfRelation(relation).empty()) {
+      // Indicator maintenance needs per-tuple payloads; fall back to the
+      // expanded form.
+      Relation<Ring> expanded = ExpandProduct(factors);
+      ApplyDelta(relation,
+                 ReorderIfNeeded(expanded,
+                                 query_relation_schema(relation)));
+      return;
+    }
+
+    std::vector<int> path = tree_->PathToRoot(relation);
+    int leaf = path[0];
+    if (tree_->node(leaf).materialized) {
+      Relation<Ring> expanded = ExpandProduct(factors);
+      AbsorbInto(stores_[leaf], expanded);
+    }
+
+    int prev = leaf;
+    for (size_t i = 1; i < path.size(); ++i) {
+      const ViewTree::Node& n = tree_->node(path[i]);
+      Schema remaining = n.marg_vars;
+
+      for (size_t ci = 0; ci < n.children.size(); ++ci) {
+        int c = n.children[ci];
+        if (c == prev) continue;
+        assert(tree_->node(c).materialized);
+        const Relation<Ring>& sib = stores_[c];
+
+        // Merge every factor sharing variables with the sibling.
+        Relation<Ring> combined;
+        bool have = false;
+        for (size_t f = 0; f < factors.size();) {
+          if (factors[f].schema().Intersects(sib.schema())) {
+            if (!have) {
+              combined = std::move(factors[f]);
+              have = true;
+            } else {
+              combined = Join(combined, factors[f]);
+            }
+            factors.erase(factors.begin() + f);
+          } else {
+            ++f;
+          }
+        }
+        if (!have) {
+          // Sibling independent of all factors: it becomes its own factor
+          // (Cartesian term), with retained vars marginalized.
+          Relation<Ring> copy = sib;
+          if (!tree_->node(c).retained_vars.empty()) {
+            copy = Marginalize(copy, tree_->node(c).retained_vars, lifts_);
+          }
+          factors.push_back(std::move(copy));
+          continue;
+        }
+
+        // Marginalize now the vars that live only in this join's scope.
+        Schema now = tree_->node(c).retained_vars;
+        Schema scope = combined.schema().Union(sib.schema());
+        for (VarId v : remaining) {
+          if (!scope.Contains(v)) continue;
+          bool elsewhere = false;
+          for (const auto& f : factors) {
+            if (f.schema().Contains(v)) elsewhere = true;
+          }
+          for (size_t cj = ci + 1; cj < n.children.size(); ++cj) {
+            if (n.children[cj] == prev) continue;
+            if (stores_[n.children[cj]].schema().Contains(v)) {
+              elsewhere = true;
+            }
+          }
+          if (!elsewhere) now.Add(v);
+        }
+        factors.push_back(JoinAndMarginalize(combined, sib, now, lifts_));
+        remaining = remaining.Minus(now);
+      }
+
+      // Marginalize leftover node vars inside the factor that owns them.
+      for (VarId v : remaining) {
+        for (auto& f : factors) {
+          if (f.schema().Contains(v)) {
+            f = Marginalize(f, Schema{v}, lifts_);
+            break;
+          }
+        }
+      }
+
+      if (n.materialized) {
+        Relation<Ring> expanded = ExpandProduct(factors);
+        AbsorbInto(stores_[path[i]], expanded);
+      }
+      prev = path[i];
+    }
+  }
+
+  /// Memory footprint of all materialized stores and indicator counts.
+  size_t TotalBytes() const {
+    size_t bytes = 0;
+    for (size_t i = 0; i < stores_.size(); ++i) {
+      if (tree_->node(static_cast<int>(i)).materialized) {
+        bytes += stores_[i].ApproxBytes();
+      }
+      bytes += counts_[i].ApproxBytes();
+    }
+    return bytes;
+  }
+
+  int StoredViewCount() const { return tree_->MaterializedCount(); }
+
+  /// Human-readable snapshot of every materialized store: name, key count,
+  /// approximate bytes. Useful for inspecting maintenance state.
+  std::string StatsString() const {
+    std::string out;
+    for (size_t i = 0; i < stores_.size(); ++i) {
+      const ViewTree::Node& n = tree_->node(static_cast<int>(i));
+      if (!n.materialized) continue;
+      out += n.name + n.store_schema.ToString() + ": " +
+             std::to_string(stores_[i].size()) + " keys, " +
+             std::to_string(stores_[i].ApproxBytes()) + " bytes\n";
+    }
+    return out;
+  }
+
+  /// Non-incremental evaluation (F-RE): computes the root view over `db`
+  /// using the factorized view-tree plan, materializing nothing.
+  static Relation<Ring> Evaluate(const ViewTree& tree,
+                                 const LiftingMap<Ring>& lifts,
+                                 const Database<Ring>& db) {
+    IvmEngine tmp(&tree, lifts);
+    return tmp.EvalOut(tree.root(), db);
+  }
+
+ private:
+  const Schema& query_relation_schema(int relation) const {
+    return tree_->query().relation(relation).schema;
+  }
+
+  static Relation<Ring> ReorderIfNeeded(const Relation<Ring>& rel,
+                                        const Schema& target) {
+    if (rel.schema() == target) return rel;
+    Relation<Ring> out(target);
+    auto pos = rel.schema().PositionsOf(target);
+    rel.ForEach([&](const Tuple& k, const Element& p) {
+      out.Add(k.Project(pos), p);
+    });
+    return out;
+  }
+
+  /// Propagates a delta from (just above) `from` to the root, joining with
+  /// sibling stores, marginalizing per node, and refreshing materialized
+  /// stores. `cur` is the out-value delta of node `from`.
+  void PropagateUp(int from, Relation<Ring> cur) {
+    int prev = from;
+    int idx = tree_->node(from).parent;
+    while (idx >= 0) {
+      if (cur.empty()) return;  // nothing changes upstream
+      const ViewTree::Node& n = tree_->node(idx);
+      for (int c : n.children) {
+        if (c == prev) continue;
+        assert(tree_->node(c).materialized &&
+               "sibling view not materialized for this updatable set");
+        cur = JoinAndMarginalize(cur, stores_[c],
+                                 tree_->node(c).retained_vars, lifts_);
+      }
+      Schema store_marg = n.marg_vars.Minus(n.retained_vars);
+      if (!store_marg.empty()) cur = Marginalize(cur, store_marg, lifts_);
+      if (n.materialized) AbsorbInto(stores_[idx], cur);
+      Schema out_marg = n.marg_vars.Intersect(n.retained_vars);
+      if (!out_marg.empty()) cur = Marginalize(cur, out_marg, lifts_);
+      prev = idx;
+      idx = n.parent;
+    }
+  }
+
+  /// Turns a base-relation delta into an indicator delta (±1 for keys whose
+  /// support transitions between zero and non-zero), maintaining the
+  /// support counts (Example B.2). Must run before the base leaf absorbs
+  /// the delta.
+  Relation<Ring> ComputeIndicatorDelta(int ind_leaf,
+                                       const Relation<Ring>& delta) {
+    const ViewTree::Node& ln = tree_->node(ind_leaf);
+    int relation = ln.indicator_for;
+    int rleaf = tree_->LeafOfRelation(relation);
+    assert(tree_->node(rleaf).materialized &&
+           "indicated relation must be stored");
+    const Relation<Ring>& rstore = stores_[rleaf];
+
+    Relation<I64Ring>& counts = counts_[ind_leaf];
+
+    auto store_pos = delta.schema().PositionsOf(rstore.schema());
+    auto pk_pos = delta.schema().PositionsOf(ln.out_schema);
+
+    Relation<Ring> dind(ln.out_schema);
+    delta.ForEach([&](const Tuple& t, const Element& p) {
+      Tuple store_key = t.Project(store_pos);
+      const Element* old = rstore.Find(store_key);
+      bool old_nz = old != nullptr;
+      Element updated = old ? Ring::Add(*old, p) : p;
+      bool new_nz = !Ring::IsZero(updated);
+      if (old_nz == new_nz) return;
+      Tuple pk = t.Project(pk_pos);
+      const int64_t* before_ptr = counts.Find(pk);
+      int64_t before = before_ptr ? *before_ptr : 0;
+      if (new_nz) {
+        counts.Add(pk, 1);
+        if (before == 0) dind.Add(pk, Ring::One());
+      } else {
+        counts.Add(pk, -1);
+        if (before == 1) dind.Add(pk, Ring::Neg(Ring::One()));
+      }
+    });
+    return dind;
+  }
+
+  Relation<Ring> ExpandProduct(const std::vector<Relation<Ring>>& factors) {
+    assert(!factors.empty());
+    Relation<Ring> acc = factors[0];
+    for (size_t i = 1; i < factors.size(); ++i) {
+      acc = Join(acc, factors[i]);
+    }
+    return acc;
+  }
+
+  // Computes the node's *store* value (pre-out-marginalization) and fills
+  // the store if materialized; returns the *out* value for the parent.
+  Relation<Ring> EvalOut(int idx, const Database<Ring>& db) {
+    const ViewTree::Node& n = tree_->node(idx);
+    if (n.relation >= 0) {
+      Relation<Ring> copy(n.out_schema);
+      AbsorbInto(copy, db[n.relation]);
+      if (n.materialized) {
+        stores_[idx].Clear();
+        stores_[idx].UnionWith(copy);
+      }
+      return copy;
+    }
+    if (n.indicator_for >= 0) {
+      // ∃_pk R over the database instance, with fresh support counts.
+      counts_[idx] = Relation<I64Ring>(n.out_schema);
+      const Relation<Ring>& r = db[n.indicator_for];
+      auto pos = r.schema().PositionsOf(n.out_schema);
+      r.ForEach([&](const Tuple& t, const Element&) {
+        counts_[idx].Add(t.Project(pos), 1);
+      });
+      Relation<Ring> ones(n.out_schema);
+      counts_[idx].ForEach([&](const Tuple& pk, const int64_t&) {
+        ones.Add(pk, Ring::One());
+      });
+      if (n.materialized) {
+        stores_[idx].Clear();
+        stores_[idx].UnionWith(ones);
+      }
+      return ones;
+    }
+
+    Relation<Ring> acc;
+    bool have = false;
+    Schema store_marg = n.marg_vars.Minus(n.retained_vars);
+    for (size_t ci = 0; ci < n.children.size(); ++ci) {
+      Relation<Ring> child = EvalOut(n.children[ci], db);
+      if (!have) {
+        acc = std::move(child);
+        have = true;
+      } else if (ci + 1 == n.children.size() && !store_marg.empty()) {
+        // Fuse the final join with the store-level marginalization.
+        acc = JoinAndMarginalize(acc, child, store_marg, lifts_);
+        store_marg = Schema{};
+      } else {
+        acc = Join(acc, child);
+      }
+    }
+    if (!have) acc = Relation<Ring>(n.out_schema);
+    if (!store_marg.empty()) acc = Marginalize(acc, store_marg, lifts_);
+    if (n.materialized) {
+      stores_[idx].Clear();
+      AbsorbInto(stores_[idx], acc);
+    }
+    Schema out_marg = n.marg_vars.Intersect(n.retained_vars);
+    if (!out_marg.empty()) acc = Marginalize(acc, out_marg, lifts_);
+    return acc;
+  }
+
+  const ViewTree* tree_;
+  LiftingMap<Ring> lifts_;
+  std::vector<Relation<Ring>> stores_;
+  std::vector<Relation<I64Ring>> counts_;  // indicator support counters
+};
+
+}  // namespace fivm
+
+#endif  // FIVM_CORE_IVM_ENGINE_H_

@@ -1,0 +1,140 @@
+#include "src/data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace fivm::csv {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+}  // namespace
+
+bool ParseLine(const std::string& line, const std::vector<ColumnType>& types,
+               const LoadOptions& options, Tuple* out, std::string* error) {
+  std::vector<std::string> fields = SplitLine(line, options.delimiter);
+  if (fields.size() != types.size()) {
+    if (error) {
+      *error = "expected " + std::to_string(types.size()) + " fields, got " +
+               std::to_string(fields.size());
+    }
+    return false;
+  }
+  Tuple t;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    char* end = nullptr;
+    switch (types[i]) {
+      case ColumnType::kInt: {
+        long long v = std::strtoll(f.c_str(), &end, 10);
+        if (end == f.c_str() || *end != '\0') {
+          if (error) *error = "bad integer '" + f + "'";
+          return false;
+        }
+        t.Append(Value::Int(v));
+        break;
+      }
+      case ColumnType::kDouble: {
+        double v = std::strtod(f.c_str(), &end);
+        if (end == f.c_str() || *end != '\0') {
+          if (error) *error = "bad double '" + f + "'";
+          return false;
+        }
+        t.Append(Value::Double(v));
+        break;
+      }
+      case ColumnType::kString: {
+        if (options.dictionary == nullptr) {
+          if (error) *error = "string column requires a dictionary";
+          return false;
+        }
+        t.Append(Value::Int(options.dictionary->Intern(f)));
+        break;
+      }
+    }
+  }
+  *out = std::move(t);
+  return true;
+}
+
+bool LoadTuples(const std::string& path, const std::vector<ColumnType>& types,
+                const LoadOptions& options, std::vector<Tuple>* out,
+                std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  size_t line_no = 0;
+  bool skip_header = options.has_header;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (skip_header) {
+      skip_header = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    Tuple t;
+    std::string parse_error;
+    if (!ParseLine(line, types, options, &t, &parse_error)) {
+      if (error) {
+        *error = path + ":" + std::to_string(line_no) + ": " + parse_error;
+      }
+      return false;
+    }
+    out->push_back(std::move(t));
+  }
+  return true;
+}
+
+std::string FormatTuple(const Tuple& tuple,
+                        const util::StringDictionary* dictionary,
+                        char delimiter) {
+  std::string out;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out.push_back(delimiter);
+    if (dictionary != nullptr && tuple[i].is_int() &&
+        tuple[i].AsInt() >= 0 &&
+        static_cast<size_t>(tuple[i].AsInt()) < dictionary->size()) {
+      out += dictionary->Decode(tuple[i].AsInt());
+    } else {
+      out += tuple[i].ToString();
+    }
+  }
+  return out;
+}
+
+bool SaveRelation(const std::string& path, const Relation<I64Ring>& relation,
+                  std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  relation.ForEach([&](const Tuple& t, const int64_t& m) {
+    out << FormatTuple(t) << ',' << m << '\n';
+  });
+  out.flush();
+  if (!out) {
+    if (error) *error = "write error on " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fivm::csv

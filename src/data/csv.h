@@ -1,0 +1,64 @@
+#ifndef FIVM_DATA_CSV_H_
+#define FIVM_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/relation.h"
+#include "src/data/schema.h"
+#include "src/data/tuple.h"
+#include "src/rings/ring.h"
+#include "src/util/string_dictionary.h"
+
+namespace fivm::csv {
+
+/// Column type declaration for CSV loading. String columns are
+/// dictionary-encoded to dense integer codes.
+enum class ColumnType { kInt, kDouble, kString };
+
+struct LoadOptions {
+  char delimiter = ',';
+  bool has_header = false;
+  /// Dictionary for string columns; required if any column is kString.
+  util::StringDictionary* dictionary = nullptr;
+};
+
+/// Parses one CSV line into a tuple according to `types`. Returns false on
+/// arity or numeric-format errors (error text in *error).
+bool ParseLine(const std::string& line, const std::vector<ColumnType>& types,
+               const LoadOptions& options, Tuple* out, std::string* error);
+
+/// Loads a CSV file into a list of tuples. Returns false on I/O or parse
+/// errors.
+bool LoadTuples(const std::string& path, const std::vector<ColumnType>& types,
+                const LoadOptions& options, std::vector<Tuple>* out,
+                std::string* error);
+
+/// Loads a CSV file into a relation over the unit-payload Z ring (each line
+/// is one tuple with multiplicity 1; duplicates accumulate).
+template <typename Ring>
+bool LoadRelation(const std::string& path, const Schema& schema,
+                  const std::vector<ColumnType>& types,
+                  const LoadOptions& options, Relation<Ring>* out,
+                  std::string* error) {
+  std::vector<Tuple> tuples;
+  if (!LoadTuples(path, types, options, &tuples, error)) return false;
+  *out = Relation<Ring>(schema);
+  for (Tuple& t : tuples) out->Add(std::move(t), Ring::One());
+  return true;
+}
+
+/// Serializes a tuple as a CSV line (string codes decoded through the
+/// dictionary when given).
+std::string FormatTuple(const Tuple& tuple,
+                        const util::StringDictionary* dictionary = nullptr,
+                        char delimiter = ',');
+
+/// Writes a relation's live keys (with an extra multiplicity column) to a
+/// CSV file. Returns false on I/O errors.
+bool SaveRelation(const std::string& path, const Relation<I64Ring>& relation,
+                  std::string* error);
+
+}  // namespace fivm::csv
+
+#endif  // FIVM_DATA_CSV_H_

@@ -1,0 +1,215 @@
+#ifndef FIVM_DATA_RELATION_H_
+#define FIVM_DATA_RELATION_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/data/schema.h"
+#include "src/data/tuple.h"
+#include "src/rings/ring.h"
+#include "src/util/flat_hash_map.h"
+#include "src/util/small_vector.h"
+
+namespace fivm {
+
+/// A relation over a ring: a finite map from tuples (keys) over `schema` to
+/// non-zero ring payloads (Section 2 of the paper). This is the storage unit
+/// of base relations, views, and deltas.
+///
+/// Storage model: slot-stable entry vector + primary hash index + lazily
+/// built secondary indexes over key prefixes (DBToaster-style multi-indexed
+/// map). Entries whose payload becomes zero are tombstoned lazily: they stay
+/// in the entry vector and indexes but are skipped by iteration, `Find`, and
+/// index probes. `CompactionThreshold` triggers a rebuild when dead entries
+/// dominate.
+template <typename Ring>
+  requires RingPolicy<Ring>
+class Relation {
+ public:
+  using Element = typename Ring::Element;
+
+  struct Entry {
+    Tuple key;
+    Element payload;
+  };
+
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Copies contents but not secondary indexes (they rebuild lazily).
+  Relation(const Relation& other)
+      : schema_(other.schema_),
+        entries_(other.entries_),
+        index_(other.index_),
+        live_(other.live_) {}
+
+  Relation& operator=(const Relation& other) {
+    if (this == &other) return *this;
+    schema_ = other.schema_;
+    entries_ = other.entries_;
+    index_ = other.index_;
+    secondary_.clear();
+    live_ = other.live_;
+    return *this;
+  }
+
+  Relation(Relation&&) noexcept = default;
+  Relation& operator=(Relation&&) noexcept = default;
+
+  const Schema& schema() const { return schema_; }
+
+  /// Number of keys with non-zero payload.
+  size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  /// Adds `delta` to the payload of `key` (⊎ of a singleton). Creates the
+  /// entry if absent; tombstones it if the payload becomes zero.
+  void Add(const Tuple& key, Element delta) {
+    if (Ring::IsZero(delta)) return;
+    if (uint32_t* slot = index_.Find(key)) {
+      Entry& e = entries_[*slot];
+      bool was_zero = Ring::IsZero(e.payload);
+      Ring::AddInPlace(e.payload, delta);
+      bool is_zero = Ring::IsZero(e.payload);
+      if (was_zero && !is_zero) ++live_;
+      if (!was_zero && is_zero) {
+        --live_;
+        MaybeCompact();
+      }
+      return;
+    }
+    uint32_t slot = static_cast<uint32_t>(entries_.size());
+    entries_.push_back(Entry{key, std::move(delta)});
+    index_.Insert(key, slot);
+    for (auto& sec : secondary_) {
+      sec->Append(entries_[slot].key, slot);
+    }
+    ++live_;
+  }
+
+  /// Returns the payload of `key`, or nullptr if absent/zero.
+  const Element* Find(const Tuple& key) const {
+    const uint32_t* slot = index_.Find(key);
+    if (slot == nullptr) return nullptr;
+    const Entry& e = entries_[*slot];
+    return Ring::IsZero(e.payload) ? nullptr : &e.payload;
+  }
+
+  bool Contains(const Tuple& key) const { return Find(key) != nullptr; }
+
+  /// Iterates over live entries: `fn(const Tuple&, const Element&)`.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      if (!Ring::IsZero(e.payload)) fn(e.key, e.payload);
+    }
+  }
+
+  /// ⊎: adds every entry of `other` into this relation.
+  void UnionWith(const Relation& other) {
+    other.ForEach([&](const Tuple& k, const Element& p) { Add(k, p); });
+  }
+
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+    secondary_.clear();
+    live_ = 0;
+  }
+
+  /// A secondary hash index over a projection of the key. Probing yields the
+  /// slots of all (live and dead) entries whose projection matches; callers
+  /// must skip zero payloads.
+  class SecondaryIndex {
+   public:
+    SecondaryIndex(const Schema& full, const Schema& sub)
+        : sub_schema_(sub), positions_(full.PositionsOf(sub)) {}
+
+    const Schema& sub_schema() const { return sub_schema_; }
+
+    void Append(const Tuple& full_key, uint32_t slot) {
+      buckets_[full_key.Project(positions_)].push_back(slot);
+    }
+
+    /// Slots of entries matching `sub_key` (projected key), or nullptr.
+    const util::SmallVector<uint32_t, 2>* Probe(const Tuple& sub_key) const {
+      return buckets_.Find(sub_key);
+    }
+
+    size_t ApproxBytes() const { return buckets_.ApproxBytes(); }
+
+   private:
+    friend class Relation;
+    Schema sub_schema_;
+    util::SmallVector<uint32_t, 6> positions_;
+    util::FlatHashMap<Tuple, util::SmallVector<uint32_t, 2>, TupleHash>
+        buckets_;
+  };
+
+  /// Returns (building on first use) the secondary index on `sub` ⊆ schema.
+  /// The index is maintained by subsequent Add() calls. Logically const:
+  /// index construction does not change relation contents.
+  const SecondaryIndex& IndexOn(const Schema& sub) const {
+    for (const auto& sec : secondary_) {
+      if (sec->sub_schema() == sub) return *sec;
+    }
+    auto sec = std::make_unique<SecondaryIndex>(schema_, sub);
+    for (uint32_t slot = 0; slot < entries_.size(); ++slot) {
+      sec->Append(entries_[slot].key, slot);
+    }
+    secondary_.push_back(std::move(sec));
+    return *secondary_.back();
+  }
+
+  const Entry& EntryAt(uint32_t slot) const { return entries_[slot]; }
+
+  /// Number of entry slots including tombstones (for index probing).
+  size_t SlotCount() const { return entries_.size(); }
+
+  /// Approximate heap footprint of entries plus all indexes.
+  size_t ApproxBytes() const {
+    size_t bytes = index_.ApproxBytes();
+    for (const auto& sec : secondary_) bytes += sec->ApproxBytes();
+    bytes += entries_.capacity() * sizeof(Entry);
+    for (const Entry& e : entries_) {
+      bytes += Ring::ApproxBytes(e.payload);
+      if (e.key.size() > 4) bytes += e.key.size() * sizeof(Value);
+    }
+    return bytes;
+  }
+
+ private:
+  void MaybeCompact() {
+    size_t dead = entries_.size() - live_;
+    if (entries_.size() < 64 || dead * 2 < entries_.size()) return;
+    std::vector<Entry> old = std::move(entries_);
+    entries_.clear();
+    index_.clear();
+    std::vector<std::unique_ptr<SecondaryIndex>> old_secondary =
+        std::move(secondary_);
+    secondary_.clear();
+    live_ = 0;
+    for (Entry& e : old) {
+      if (!Ring::IsZero(e.payload)) Add(e.key, std::move(e.payload));
+    }
+    // Rebuild the same secondary indexes so cached references stay valid
+    // across compaction is NOT guaranteed; engine code re-fetches via
+    // IndexOn() per operation.
+    for (auto& sec : old_secondary) {
+      IndexOn(sec->sub_schema());
+    }
+  }
+
+  Schema schema_;
+  std::vector<Entry> entries_;
+  util::FlatHashMap<Tuple, uint32_t, TupleHash> index_;
+  mutable std::vector<std::unique_ptr<SecondaryIndex>> secondary_;
+  size_t live_ = 0;
+};
+
+}  // namespace fivm
+
+#endif  // FIVM_DATA_RELATION_H_

@@ -1,0 +1,214 @@
+#ifndef FIVM_DATA_RELATION_OPS_H_
+#define FIVM_DATA_RELATION_OPS_H_
+
+#include <cassert>
+#include <utility>
+
+#include "src/data/relation.h"
+#include "src/data/schema.h"
+#include "src/data/tuple.h"
+#include "src/rings/lifting.h"
+#include "src/rings/ring.h"
+#include "src/util/small_vector.h"
+
+namespace fivm {
+
+/// The three operators of the query language (Section 2): union ⊎, natural
+/// join ⊗, and aggregation-by-marginalization ⊕_X with lifting functions.
+/// Join and marginalization are also provided fused, which is what view-tree
+/// evaluation and delta propagation use to avoid materializing intermediate
+/// join results.
+
+/// ⊎: returns left ⊎ right (schemas must match as sets; output uses left's
+/// order).
+template <typename Ring>
+Relation<Ring> Union(const Relation<Ring>& left, const Relation<Ring>& right) {
+  assert(left.schema().SameSet(right.schema()));
+  Relation<Ring> out(left.schema());
+  left.ForEach([&](const Tuple& k, const typename Ring::Element& p) {
+    out.Add(k, p);
+  });
+  auto positions = right.schema().PositionsOf(left.schema());
+  right.ForEach([&](const Tuple& k, const typename Ring::Element& p) {
+    out.Add(k.Project(positions), p);
+  });
+  return out;
+}
+
+/// ⊕: marginalizes the variables `marg` out of `rel`, lifting each
+/// marginalized value via `lifts` and multiplying it into the payload.
+/// Output schema is rel.schema \ marg.
+template <typename Ring>
+Relation<Ring> Marginalize(const Relation<Ring>& rel, const Schema& marg,
+                           const LiftingMap<Ring>& lifts) {
+  using Element = typename Ring::Element;
+  Schema out_schema = rel.schema().Minus(marg);
+  Relation<Ring> out(out_schema);
+  auto out_positions = rel.schema().PositionsOf(out_schema);
+
+  // Positions of marginalized vars that carry non-trivial liftings.
+  util::SmallVector<std::pair<uint32_t, VarId>, 6> lifted;
+  for (VarId v : marg) {
+    int pos = rel.schema().PositionOf(v);
+    assert(pos >= 0);
+    if (!lifts.IsTrivial(v)) {
+      lifted.emplace_back(static_cast<uint32_t>(pos), v);
+    }
+  }
+
+  rel.ForEach([&](const Tuple& k, const Element& p) {
+    Element acc = p;
+    for (const auto& [pos, var] : lifted) {
+      acc = Ring::Mul(acc, lifts.Lift(var, k[pos]));
+    }
+    out.Add(k.Project(out_positions), std::move(acc));
+  });
+  return out;
+}
+
+/// ⊗: natural join of `left` and `right` on their common variables. Output
+/// schema is left.schema followed by right's private variables. Payload of a
+/// match is Mul(left payload, right payload) — note the order, which matters
+/// for non-commutative rings (e.g. the relational data ring concatenates
+/// payload schemas left-to-right).
+template <typename Ring>
+Relation<Ring> Join(const Relation<Ring>& left, const Relation<Ring>& right) {
+  using Element = typename Ring::Element;
+  Schema common = left.schema().Intersect(right.schema());
+  Schema right_private = right.schema().Minus(common);
+  Schema out_schema = left.schema().Union(right_private);
+  Relation<Ring> out(out_schema);
+
+  auto left_common = left.schema().PositionsOf(common);
+  auto right_private_pos = right.schema().PositionsOf(right_private);
+
+  if (common.empty()) {
+    // Cartesian product.
+    left.ForEach([&](const Tuple& lk, const Element& lp) {
+      right.ForEach([&](const Tuple& rk, const Element& rp) {
+        out.Add(lk.Concat(rk.Project(right_private_pos)), Ring::Mul(lp, rp));
+      });
+    });
+    return out;
+  }
+
+  const auto& right_index = right.IndexOn(common);
+  left.ForEach([&](const Tuple& lk, const Element& lp) {
+    const auto* slots = right_index.Probe(lk.Project(left_common));
+    if (slots == nullptr) return;
+    for (uint32_t slot : *slots) {
+      const auto& e = right.EntryAt(slot);
+      if (Ring::IsZero(e.payload)) continue;
+      out.Add(lk.Concat(e.key.Project(right_private_pos)),
+              Ring::Mul(lp, e.payload));
+    }
+  });
+  return out;
+}
+
+/// Fused ⊕_{marg}(left ⊗ right): joins and immediately marginalizes, never
+/// materializing the join result. `marg` may mention variables from either
+/// side. This is the inner loop of view evaluation and delta propagation.
+template <typename Ring>
+Relation<Ring> JoinAndMarginalize(const Relation<Ring>& left,
+                                  const Relation<Ring>& right,
+                                  const Schema& marg,
+                                  const LiftingMap<Ring>& lifts) {
+  using Element = typename Ring::Element;
+  Schema common = left.schema().Intersect(right.schema());
+  Schema right_private = right.schema().Minus(common);
+  Schema joined = left.schema().Union(right_private);
+  Schema out_schema = joined.Minus(marg);
+  Relation<Ring> out(out_schema);
+
+  auto left_common = left.schema().PositionsOf(common);
+
+  // For each output variable, record (from_left, position).
+  util::SmallVector<std::pair<bool, uint32_t>, 6> out_src;
+  for (VarId v : out_schema) {
+    int lp = left.schema().PositionOf(v);
+    if (lp >= 0) {
+      out_src.emplace_back(true, static_cast<uint32_t>(lp));
+    } else {
+      int rp = right.schema().PositionOf(v);
+      assert(rp >= 0);
+      out_src.emplace_back(false, static_cast<uint32_t>(rp));
+    }
+  }
+  // Non-trivially lifted marginalized variables, with source side/position.
+  util::SmallVector<std::pair<VarId, std::pair<bool, uint32_t>>, 6> lifted;
+  for (VarId v : marg) {
+    if (!joined.Contains(v) || lifts.IsTrivial(v)) continue;
+    int lp = left.schema().PositionOf(v);
+    if (lp >= 0) {
+      lifted.emplace_back(v, std::make_pair(true, static_cast<uint32_t>(lp)));
+    } else {
+      int rp = right.schema().PositionOf(v);
+      assert(rp >= 0);
+      lifted.emplace_back(v, std::make_pair(false, static_cast<uint32_t>(rp)));
+    }
+  }
+
+  auto emit = [&](const Tuple& lk, const Element& lp, const Tuple& rk,
+                  const Element& rp) {
+    Tuple out_key;
+    for (const auto& [from_left, pos] : out_src) {
+      out_key.Append(from_left ? lk[pos] : rk[pos]);
+    }
+    Element acc = Ring::Mul(lp, rp);
+    for (const auto& [var, src] : lifted) {
+      const Value& x = src.first ? lk[src.second] : rk[src.second];
+      acc = Ring::Mul(acc, lifts.Lift(var, x));
+    }
+    out.Add(std::move(out_key), std::move(acc));
+  };
+
+  if (common.empty()) {
+    left.ForEach([&](const Tuple& lk, const Element& lp) {
+      right.ForEach(
+          [&](const Tuple& rk, const Element& rp) { emit(lk, lp, rk, rp); });
+    });
+    return out;
+  }
+
+  const auto& right_index = right.IndexOn(common);
+  left.ForEach([&](const Tuple& lk, const Element& lp) {
+    const auto* slots = right_index.Probe(lk.Project(left_common));
+    if (slots == nullptr) return;
+    for (uint32_t slot : *slots) {
+      const auto& e = right.EntryAt(slot);
+      if (Ring::IsZero(e.payload)) continue;
+      emit(lk, lp, e.key, e.payload);
+    }
+  });
+  return out;
+}
+
+/// Adds `delta` into `store`, re-ordering key columns if the two schemas use
+/// a different positional layout. The schemas must be equal as sets.
+template <typename Ring>
+void AbsorbInto(Relation<Ring>& store, const Relation<Ring>& delta) {
+  assert(store.schema().SameSet(delta.schema()));
+  if (store.schema() == delta.schema()) {
+    store.UnionWith(delta);
+    return;
+  }
+  auto pos = delta.schema().PositionsOf(store.schema());
+  delta.ForEach([&](const Tuple& k, const typename Ring::Element& p) {
+    store.Add(k.Project(pos), p);
+  });
+}
+
+/// Converts a relation between rings by mapping payloads through `fn`.
+template <typename ToRing, typename FromRing, typename Fn>
+Relation<ToRing> MapPayloads(const Relation<FromRing>& rel, Fn&& fn) {
+  Relation<ToRing> out(rel.schema());
+  rel.ForEach([&](const Tuple& k, const typename FromRing::Element& p) {
+    out.Add(k, fn(p));
+  });
+  return out;
+}
+
+}  // namespace fivm
+
+#endif  // FIVM_DATA_RELATION_OPS_H_

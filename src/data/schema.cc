@@ -1,0 +1,78 @@
+#include "src/data/schema.h"
+
+namespace fivm {
+
+bool Schema::Add(VarId v) {
+  if (Contains(v)) return false;
+  vars_.push_back(v);
+  return true;
+}
+
+int Schema::PositionOf(VarId v) const {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i] == v) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::ContainsAll(const Schema& other) const {
+  for (VarId v : other) {
+    if (!Contains(v)) return false;
+  }
+  return true;
+}
+
+Schema Schema::Intersect(const Schema& other) const {
+  Schema out;
+  for (VarId v : vars_) {
+    if (other.Contains(v)) out.Add(v);
+  }
+  return out;
+}
+
+Schema Schema::Minus(const Schema& other) const {
+  Schema out;
+  for (VarId v : vars_) {
+    if (!other.Contains(v)) out.Add(v);
+  }
+  return out;
+}
+
+Schema Schema::Union(const Schema& other) const {
+  Schema out = *this;
+  for (VarId v : other) out.Add(v);
+  return out;
+}
+
+bool Schema::Intersects(const Schema& other) const {
+  for (VarId v : vars_) {
+    if (other.Contains(v)) return true;
+  }
+  return false;
+}
+
+util::SmallVector<uint32_t, 6> Schema::PositionsOf(const Schema& target) const {
+  util::SmallVector<uint32_t, 6> out;
+  out.reserve(target.size());
+  for (VarId v : target) {
+    int pos = PositionOf(v);
+    out.push_back(static_cast<uint32_t>(pos));
+  }
+  return out;
+}
+
+bool Schema::SameSet(const Schema& o) const {
+  return size() == o.size() && ContainsAll(o);
+}
+
+std::string Schema::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(vars_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace fivm

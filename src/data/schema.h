@@ -1,0 +1,80 @@
+#ifndef FIVM_DATA_SCHEMA_H_
+#define FIVM_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "src/util/hash.h"
+#include "src/util/small_vector.h"
+
+namespace fivm {
+
+/// Dense identifier of a query variable (attribute). Assigned by Catalog.
+using VarId = uint32_t;
+
+inline constexpr VarId kInvalidVar = static_cast<VarId>(-1);
+
+/// An ordered list of distinct variables — the schema of a relation or view.
+/// Order matters: it fixes the positional layout of tuples.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<VarId> vars) : vars_(vars) {}
+  explicit Schema(util::SmallVector<VarId, 6> vars) : vars_(std::move(vars)) {}
+
+  size_t size() const { return vars_.size(); }
+  bool empty() const { return vars_.empty(); }
+  VarId operator[](size_t i) const { return vars_[i]; }
+
+  const VarId* begin() const { return vars_.begin(); }
+  const VarId* end() const { return vars_.end(); }
+
+  /// Appends `v` if not already present; returns true if appended.
+  bool Add(VarId v);
+
+  bool Contains(VarId v) const { return PositionOf(v) >= 0; }
+
+  /// Position of `v` in this schema, or -1.
+  int PositionOf(VarId v) const;
+
+  /// True if every variable of `other` occurs in this schema.
+  bool ContainsAll(const Schema& other) const;
+
+  /// Variables of this schema that also occur in `other`, in this schema's
+  /// order.
+  Schema Intersect(const Schema& other) const;
+
+  /// Variables of this schema that do not occur in `other`.
+  Schema Minus(const Schema& other) const;
+
+  /// This schema followed by the variables of `other` not already present.
+  Schema Union(const Schema& other) const;
+
+  bool Intersects(const Schema& other) const;
+
+  /// Positions (into this schema) of the variables of `target`, in target
+  /// order. All of `target` must be present.
+  util::SmallVector<uint32_t, 6> PositionsOf(const Schema& target) const;
+
+  bool operator==(const Schema& o) const { return vars_ == o.vars_; }
+  bool operator!=(const Schema& o) const { return !(*this == o); }
+
+  /// Order-insensitive equality (same variable set).
+  bool SameSet(const Schema& o) const;
+
+  uint64_t Hash() const {
+    uint64_t h = 0xa0761d6478bd642fULL;
+    for (VarId v : vars_) h = util::HashCombine(h, v);
+    return h;
+  }
+
+  std::string ToString() const;
+
+ private:
+  util::SmallVector<VarId, 6> vars_;
+};
+
+}  // namespace fivm
+
+#endif  // FIVM_DATA_SCHEMA_H_

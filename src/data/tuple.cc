@@ -1,0 +1,20 @@
+#include "src/data/tuple.h"
+
+namespace fivm {
+
+const Tuple& Tuple::Empty() {
+  static const Tuple kEmpty{};
+  return kEmpty;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace fivm

@@ -1,0 +1,86 @@
+#ifndef FIVM_DATA_TUPLE_H_
+#define FIVM_DATA_TUPLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "src/data/value.h"
+#include "src/util/hash.h"
+#include "src/util/small_vector.h"
+
+namespace fivm {
+
+/// An ordered list of values — the key of a relation entry. The empty tuple
+/// `()` is the key of nullary (fully aggregated) views.
+class Tuple {
+ public:
+  Tuple() = default;
+
+  Tuple(std::initializer_list<Value> vals) : values_(vals) {}
+
+  explicit Tuple(util::SmallVector<Value, 4> vals)
+      : values_(std::move(vals)) {}
+
+  /// Convenience constructor for all-integer keys (tests, examples).
+  static Tuple Ints(std::initializer_list<int64_t> ints) {
+    Tuple t;
+    t.values_.reserve(ints.size());
+    for (int64_t v : ints) t.values_.push_back(Value::Int(v));
+    return t;
+  }
+
+  static const Tuple& Empty();
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+
+  void Append(const Value& v) { values_.push_back(v); }
+
+  /// Projects this tuple onto the given positions, in the given order.
+  template <typename Positions>
+  Tuple Project(const Positions& positions) const {
+    Tuple out;
+    out.values_.reserve(positions.size());
+    for (auto p : positions) out.values_.push_back(values_[p]);
+    return out;
+  }
+
+  /// Concatenation: this tuple followed by `other`.
+  Tuple Concat(const Tuple& other) const {
+    Tuple out;
+    out.values_.reserve(values_.size() + other.values_.size());
+    for (const Value& v : values_) out.values_.push_back(v);
+    for (const Value& v : other.values_) out.values_.push_back(v);
+    return out;
+  }
+
+  bool operator==(const Tuple& o) const { return values_ == o.values_; }
+  bool operator!=(const Tuple& o) const { return !(*this == o); }
+  bool operator<(const Tuple& o) const { return values_ < o.values_; }
+
+  uint64_t Hash() const {
+    uint64_t h = 0x51ed2701a3bf2dceULL;
+    for (const Value& v : values_) h = util::HashCombine(h, v.Hash());
+    return h;
+  }
+
+  std::string ToString() const;
+
+  const Value* begin() const { return values_.begin(); }
+  const Value* end() const { return values_.end(); }
+
+ private:
+  util::SmallVector<Value, 4> values_;
+};
+
+struct TupleHash {
+  uint64_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace fivm
+
+#endif  // FIVM_DATA_TUPLE_H_

@@ -1,0 +1,17 @@
+#include "src/data/value.h"
+
+#include <cstdio>
+
+namespace fivm {
+
+std::string Value::ToString() const {
+  char buf[32];
+  if (kind_ == Kind::kInt) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(i_));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", d_);
+  }
+  return buf;
+}
+
+}  // namespace fivm

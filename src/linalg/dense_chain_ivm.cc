@@ -1,0 +1,48 @@
+#include "src/linalg/dense_chain_ivm.h"
+
+#include <cassert>
+
+namespace fivm::linalg {
+
+DenseChainIvm::DenseChainIvm(Matrix a1, Matrix a2, Matrix a3)
+    : a1_(std::move(a1)), a2_(std::move(a2)), a3_(std::move(a3)) {
+  product_ = Multiply(Multiply(a1_, a2_), a3_);
+}
+
+void DenseChainIvm::ReevaluateUpdate(const Matrix& delta_a2) {
+  a2_.Add(delta_a2);
+  product_ = Multiply(Multiply(a1_, a2_), a3_);
+}
+
+void DenseChainIvm::FirstOrderUpdate(const Matrix& delta_a2) {
+  // δA12 = A1 δA2 — cheap when δA2 is sparse (the multiply kernel skips
+  // zero entries), but the result is dense...
+  Matrix delta12 = Multiply(a1_, delta_a2);
+  // ... so this is a full O(n^3) matrix-matrix multiplication.
+  Matrix delta = Multiply(delta12, a3_);
+  product_.Add(delta);
+  a2_.Add(delta_a2);
+}
+
+void DenseChainIvm::FactorizedRank1Update(const Vector& u, const Vector& v) {
+  // u1 = A1 u  (O(n^2)); v1^T = v^T A3  (O(n^2)); δA = u1 v1^T  (O(n^2)).
+  Vector u1 = MultiplyVec(a1_, u);
+  Vector v1 = VecMultiply(v, a3_);
+  product_.AddOuter(u1, v1);
+  a2_.AddOuter(u, v);
+}
+
+void DenseChainIvm::FactorizedUpdate(const LowRankFactorization& f) {
+  for (size_t k = 0; k < f.rank(); ++k) {
+    FactorizedRank1Update(f.us[k], f.vs[k]);
+  }
+}
+
+void DenseChainIvm::FactorizedRowUpdate(size_t row, const Vector& delta_row) {
+  assert(row < a2_.rows());
+  Vector u(a2_.rows(), 0.0);
+  u[row] = 1.0;
+  FactorizedRank1Update(u, delta_row);
+}
+
+}  // namespace fivm::linalg

@@ -1,0 +1,55 @@
+#ifndef FIVM_LINALG_DENSE_CHAIN_IVM_H_
+#define FIVM_LINALG_DENSE_CHAIN_IVM_H_
+
+#include "src/linalg/low_rank.h"
+#include "src/linalg/matrix.h"
+
+namespace fivm::linalg {
+
+/// Maintains the dense product A = A1 * A2 * A3 under updates to A2, with
+/// the three strategies of Figure 6 on the dense-array ("Octave") runtime:
+///
+/// - RE-EVAL:   recompute A1*A2*A3 from scratch (two O(n^3) multiplies).
+/// - 1-IVM:     δA = (A1 δA2) A3; the sparse first product is cheap but the
+///              second is a full O(n^3) matrix-matrix multiply.
+/// - F-IVM:     factorize δA2 = u v^T and propagate (A1 u)(v^T A3): two
+///              matrix-vector products and an outer product, all O(n^2).
+///
+/// The same strategies run on the hash-map runtime via IvmEngine over the
+/// F64 ring; see bench/bench_fig6_*.
+class DenseChainIvm {
+ public:
+  DenseChainIvm(Matrix a1, Matrix a2, Matrix a3);
+
+  const Matrix& product() const { return product_; }
+  const Matrix& a2() const { return a2_; }
+
+  /// RE-EVAL: applies δA2 and recomputes the product from scratch.
+  void ReevaluateUpdate(const Matrix& delta_a2);
+
+  /// 1-IVM: δA = (A1 δA2) A3 with a full matrix-matrix multiply.
+  void FirstOrderUpdate(const Matrix& delta_a2);
+
+  /// F-IVM: rank-1 update δA2 = u v^T, maintained in O(n^2).
+  void FactorizedRank1Update(const Vector& u, const Vector& v);
+
+  /// F-IVM: rank-r update as a sequence of rank-1 updates (O(r n^2)).
+  void FactorizedUpdate(const LowRankFactorization& f);
+
+  /// One full row update expressed as the rank-1 factorization
+  /// δA2 = e_row * delta_row^T.
+  void FactorizedRowUpdate(size_t row, const Vector& delta_row);
+
+  size_t ApproxBytes() const {
+    return a1_.ApproxBytes() + a2_.ApproxBytes() + a3_.ApproxBytes() +
+           product_.ApproxBytes();
+  }
+
+ private:
+  Matrix a1_, a2_, a3_;
+  Matrix product_;
+};
+
+}  // namespace fivm::linalg
+
+#endif  // FIVM_LINALG_DENSE_CHAIN_IVM_H_

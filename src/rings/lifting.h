@@ -1,0 +1,54 @@
+#ifndef FIVM_RINGS_LIFTING_H_
+#define FIVM_RINGS_LIFTING_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/data/schema.h"
+#include "src/data/value.h"
+
+namespace fivm {
+
+/// Per-variable lifting functions g_X : Dom(X) -> D (Section 2). When a bound
+/// variable X is marginalized, each of its values is lifted into the ring and
+/// multiplied into the payload. Variables without an explicit lifting use the
+/// multiplicative identity (i.e. they are simply aggregated away, as in
+/// COUNT).
+template <typename Ring>
+class LiftingMap {
+ public:
+  using Element = typename Ring::Element;
+  using Fn = std::function<Element(const Value&)>;
+
+  /// Registers the lifting function for variable `v`.
+  void Set(VarId v, Fn fn) {
+    if (v >= fns_.size()) fns_.resize(v + 1);
+    fns_[v] = std::move(fn);
+  }
+
+  /// True if `v` lifts to the multiplicative identity (no function set), in
+  /// which case callers can skip the ring multiplication entirely.
+  bool IsTrivial(VarId v) const {
+    return v >= fns_.size() || !static_cast<bool>(fns_[v]);
+  }
+
+  Element Lift(VarId v, const Value& x) const {
+    if (IsTrivial(v)) return Ring::One();
+    return fns_[v](x);
+  }
+
+ private:
+  std::vector<Fn> fns_;
+};
+
+/// Lifting that maps every value to its numeric content: g(x) = x. This is
+/// the lifting of SQL SUM(X) under the real/integer rings.
+template <typename Ring>
+typename LiftingMap<Ring>::Fn NumericLifting() {
+  return [](const Value& x) ->
+      typename Ring::Element { return x.AsDouble(); };
+}
+
+}  // namespace fivm
+
+#endif  // FIVM_RINGS_LIFTING_H_

@@ -1,0 +1,57 @@
+#ifndef FIVM_RINGS_PRODUCT_RING_H_
+#define FIVM_RINGS_PRODUCT_RING_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "src/rings/ring.h"
+
+namespace fivm {
+
+/// The direct product of two rings: elements are pairs, operations are
+/// component-wise. Lets one view tree maintain several compound aggregates
+/// in a single pass — e.g. (COUNT, SUM) for AVG, or (SUM, SUM OF SQUARES)
+/// for variance — sharing all key-space computation, which is exactly the
+/// sharing F-IVM exploits against per-aggregate baselines.
+template <typename R1, typename R2>
+struct ProductRing {
+  struct Element {
+    typename R1::Element first;
+    typename R2::Element second;
+
+    bool operator==(const Element& o) const {
+      return first == o.first && second == o.second;
+    }
+  };
+
+  static Element Zero() { return Element{R1::Zero(), R2::Zero()}; }
+  static Element One() { return Element{R1::One(), R2::One()}; }
+  static Element Add(const Element& a, const Element& b) {
+    return Element{R1::Add(a.first, b.first), R2::Add(a.second, b.second)};
+  }
+  static Element Mul(const Element& a, const Element& b) {
+    return Element{R1::Mul(a.first, b.first), R2::Mul(a.second, b.second)};
+  }
+  static Element Neg(const Element& a) {
+    return Element{R1::Neg(a.first), R2::Neg(a.second)};
+  }
+  static void AddInPlace(Element& a, const Element& b) {
+    R1::AddInPlace(a.first, b.first);
+    R2::AddInPlace(a.second, b.second);
+  }
+  static bool IsZero(const Element& a) {
+    return R1::IsZero(a.first) && R2::IsZero(a.second);
+  }
+  static size_t ApproxBytes(const Element& a) {
+    return R1::ApproxBytes(a.first) + R2::ApproxBytes(a.second);
+  }
+};
+
+/// (COUNT, SUM) pairs — the payload of incrementally maintained AVG.
+using CountSumRing = ProductRing<I64Ring, F64Ring>;
+
+static_assert(RingPolicy<CountSumRing>);
+
+}  // namespace fivm
+
+#endif  // FIVM_RINGS_PRODUCT_RING_H_

@@ -1,0 +1,152 @@
+#include "src/rings/regression_ring.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fivm {
+namespace {
+
+// Union of two ranges, treating an empty range (lo == hi) as absent.
+void UnionRange(uint32_t alo, uint32_t ahi, uint32_t blo, uint32_t bhi,
+                uint32_t* lo, uint32_t* hi) {
+  if (alo == ahi) {
+    *lo = blo;
+    *hi = bhi;
+  } else if (blo == bhi) {
+    *lo = alo;
+    *hi = ahi;
+  } else {
+    *lo = std::min(alo, blo);
+    *hi = std::max(ahi, bhi);
+  }
+}
+
+}  // namespace
+
+RegressionPayload Add(const RegressionPayload& a, const RegressionPayload& b) {
+  RegressionPayload out;
+  out.c_ = a.c_ + b.c_;
+  UnionRange(a.lo_, a.hi_, b.lo_, b.hi_, &out.lo_, &out.hi_);
+  size_t len = out.len();
+  if (len == 0) return out;
+  out.buf_.assign(len + len * (len + 1) / 2, 0.0);
+
+  auto accumulate = [&](const RegressionPayload& p) {
+    if (!p.has_range()) return;
+    size_t plen = p.len();
+    size_t off = p.lo_ - out.lo_;
+    double* s = out.s_data();
+    double* q = out.q_data();
+    const double* ps = p.s_data();
+    const double* pq = p.q_data();
+    for (size_t i = 0; i < plen; ++i) s[off + i] += ps[i];
+    for (size_t i = 0; i < plen; ++i) {
+      const size_t row = RegressionPayload::TriIndex(plen, i, i);
+      const size_t orow = RegressionPayload::TriIndex(len, off + i, off + i);
+      for (size_t j = 0; i + j < plen; ++j) {
+        q[orow + j] += pq[row + j];
+      }
+    }
+  };
+  accumulate(a);
+  accumulate(b);
+  return out;
+}
+
+void RegressionPayload::AddInPlace(const RegressionPayload& b) {
+  if (!b.has_range()) {
+    c_ += b.c_;
+    return;
+  }
+  if (has_range() && lo_ <= b.lo_ && b.hi_ <= hi_) {
+    // Fast path: b's range is contained in ours (the common case when
+    // accumulating deltas into a view whose range is fixed).
+    c_ += b.c_;
+    size_t len = this->len();
+    size_t blen = b.len();
+    size_t off = b.lo_ - lo_;
+    double* s = s_data();
+    double* q = q_data();
+    const double* bs = b.s_data();
+    const double* bq = b.q_data();
+    for (size_t i = 0; i < blen; ++i) s[off + i] += bs[i];
+    for (size_t i = 0; i < blen; ++i) {
+      const size_t row = TriIndex(blen, i, i);
+      const size_t orow = TriIndex(len, off + i, off + i);
+      for (size_t j = 0; i + j < blen; ++j) {
+        q[orow + j] += bq[row + j];
+      }
+    }
+    return;
+  }
+  *this = fivm::Add(*this, b);
+}
+
+RegressionPayload Mul(const RegressionPayload& a, const RegressionPayload& b) {
+  RegressionPayload out;
+  out.c_ = a.c_ * b.c_;
+  UnionRange(a.lo_, a.hi_, b.lo_, b.hi_, &out.lo_, &out.hi_);
+  size_t len = out.len();
+  if (len == 0) return out;
+  out.buf_.assign(len + len * (len + 1) / 2, 0.0);
+
+  double* s = out.s_data();
+  double* q = out.q_data();
+
+  // s += scale * sp ; Q += scale * Qp (the cb*Qa and ca*Qb terms).
+  auto scale_in = [&](const RegressionPayload& p, double scale) {
+    if (!p.has_range() || scale == 0.0) return;
+    size_t plen = p.len();
+    size_t off = p.lo_ - out.lo_;
+    const double* ps = p.s_data();
+    const double* pq = p.q_data();
+    for (size_t i = 0; i < plen; ++i) s[off + i] += scale * ps[i];
+    for (size_t i = 0; i < plen; ++i) {
+      const size_t row = RegressionPayload::TriIndex(plen, i, i);
+      const size_t orow = RegressionPayload::TriIndex(len, off + i, off + i);
+      for (size_t j = 0; i + j < plen; ++j) {
+        q[orow + j] += scale * pq[row + j];
+      }
+    }
+  };
+  scale_in(a, b.c_);
+  scale_in(b, a.c_);
+
+  // Q += sa sb^T + sb sa^T. The sum is symmetric with entry
+  // M(x, y) = sa_x * sb_y + sb_x * sa_y, accumulated once per packed cell.
+  if (a.has_range() && b.has_range()) {
+    auto sa_at = [&](uint32_t g) -> double {
+      return (g >= a.lo_ && g < a.hi_) ? a.s_data()[g - a.lo_] : 0.0;
+    };
+    auto sb_at = [&](uint32_t g) -> double {
+      return (g >= b.lo_ && g < b.hi_) ? b.s_data()[g - b.lo_] : 0.0;
+    };
+    for (uint32_t x = out.lo_; x < out.hi_; ++x) {
+      double sax = sa_at(x);
+      double sbx = sb_at(x);
+      if (sax == 0.0 && sbx == 0.0) continue;
+      const size_t orow =
+          RegressionPayload::TriIndex(len, x - out.lo_, x - out.lo_);
+      for (uint32_t y = x; y < out.hi_; ++y) {
+        double v = sax * sb_at(y) + sbx * sa_at(y);
+        if (v != 0.0) q[orow + (y - x)] += v;
+      }
+    }
+  }
+  return out;
+}
+
+bool RegressionPayload::operator==(const RegressionPayload& o) const {
+  if (c_ != o.c_) return false;
+  uint32_t lo, hi;
+  UnionRange(lo_, hi_, o.lo_, o.hi_, &lo, &hi);
+  for (uint32_t i = lo; i < hi; ++i) {
+    if (Sum(i) != o.Sum(i)) return false;
+    for (uint32_t j = i; j < hi; ++j) {
+      if (Cofactor(i, j) != o.Cofactor(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fivm

@@ -1,0 +1,104 @@
+#include "src/rings/relational_ring.h"
+
+#include <cassert>
+
+namespace fivm {
+
+PayloadRelation PayloadRelation::operator-() const {
+  PayloadRelation p;
+  p.schema_ = schema_;
+  rows_.ForEach([&](const Tuple& t, const int64_t& m) {
+    if (m != 0) p.rows_.Insert(t, -m);
+  });
+  return p;
+}
+
+PayloadRelation Add(const PayloadRelation& a, const PayloadRelation& b) {
+  PayloadRelation out = a;
+  out.AddInPlace(b);
+  return out;
+}
+
+void PayloadRelation::AddInPlace(const PayloadRelation& b) {
+  if (this == &b) {
+    PayloadRelation copy = b;
+    AddInPlace(copy);
+    return;
+  }
+  if (b.rows_.empty()) return;
+  if (rows_.empty()) {
+    *this = b;
+    return;
+  }
+  assert(schema_.SameSet(b.schema_));
+  // Re-order b's tuples into our positional layout.
+  auto proj = b.schema_.PositionsOf(schema_);
+  b.rows_.ForEach([&](const Tuple& t, const int64_t& m) {
+    if (m == 0) return;
+    Tuple key = (schema_ == b.schema_) ? t : t.Project(proj);
+    int64_t& slot = rows_[key];
+    slot += m;
+    if (slot == 0) rows_.Erase(key);
+  });
+}
+
+PayloadRelation Mul(const PayloadRelation& a, const PayloadRelation& b) {
+  PayloadRelation out;
+  if (a.rows_.empty() || b.rows_.empty()) return out;
+
+  Schema common = a.schema_.Intersect(b.schema_);
+  Schema b_private = b.schema_.Minus(common);
+  out.schema_ = a.schema_.Union(b_private);
+  auto b_private_pos = b.schema_.PositionsOf(b_private);
+
+  auto emit = [&](const Tuple& ta, int64_t ma, const Tuple& tb, int64_t mb) {
+    Tuple key = ta.Concat(tb.Project(b_private_pos));
+    int64_t& slot = out.rows_[key];
+    slot += ma * mb;
+    if (slot == 0) out.rows_.Erase(key);
+  };
+
+  if (common.empty()) {
+    // Cartesian concatenation — the view-tree case (disjoint payload
+    // schemas).
+    a.rows_.ForEach([&](const Tuple& ta, const int64_t& ma) {
+      if (ma == 0) return;
+      b.rows_.ForEach([&](const Tuple& tb, const int64_t& mb) {
+        if (mb != 0) emit(ta, ma, tb, mb);
+      });
+    });
+    return out;
+  }
+
+  // General natural join on the shared variables.
+  auto a_common = a.schema_.PositionsOf(common);
+  auto b_common = b.schema_.PositionsOf(common);
+  util::FlatHashMap<Tuple, std::vector<std::pair<Tuple, int64_t>>, TupleHash>
+      index;
+  b.rows_.ForEach([&](const Tuple& tb, const int64_t& mb) {
+    if (mb != 0) index[tb.Project(b_common)].emplace_back(tb, mb);
+  });
+  a.rows_.ForEach([&](const Tuple& ta, const int64_t& ma) {
+    if (ma == 0) return;
+    const auto* bucket = index.Find(ta.Project(a_common));
+    if (bucket == nullptr) return;
+    for (const auto& [tb, mb] : *bucket) emit(ta, ma, tb, mb);
+  });
+  return out;
+}
+
+bool PayloadRelation::operator==(const PayloadRelation& o) const {
+  if (rows_.size() != o.rows_.size()) return false;
+  if (rows_.empty()) return true;
+  if (!schema_.SameSet(o.schema_)) return false;
+  auto proj = schema_.PositionsOf(o.schema_);
+  bool equal = true;
+  rows_.ForEach([&](const Tuple& t, const int64_t& m) {
+    if (!equal) return;
+    Tuple other_key = (schema_ == o.schema_) ? t : t.Project(proj);
+    if (o.Multiplicity(other_key) != m) equal = false;
+  });
+  return equal;
+}
+
+}  // namespace fivm

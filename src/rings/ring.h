@@ -1,0 +1,67 @@
+#ifndef FIVM_RINGS_RING_H_
+#define FIVM_RINGS_RING_H_
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+namespace fivm {
+
+/// A ring policy bundles the payload element type with the ring operations
+/// (+, *, additive inverse, identities). Relations, views, and the whole IVM
+/// machinery are parameterized on a ring policy; swapping the ring retargets
+/// the same view trees to a different analytical task (Section 6 of the
+/// paper).
+///
+/// All operations are static: elements are self-describing (e.g. a
+/// RegressionPayload carries its own slot range).
+template <typename R>
+concept RingPolicy = requires(const typename R::Element& a,
+                              typename R::Element& m) {
+  typename R::Element;
+  { R::Zero() } -> std::same_as<typename R::Element>;
+  { R::One() } -> std::same_as<typename R::Element>;
+  { R::Add(a, a) } -> std::same_as<typename R::Element>;
+  { R::Mul(a, a) } -> std::same_as<typename R::Element>;
+  { R::Neg(a) } -> std::same_as<typename R::Element>;
+  { R::AddInPlace(m, a) };
+  { R::IsZero(a) } -> std::same_as<bool>;
+  { R::ApproxBytes(a) } -> std::same_as<size_t>;
+};
+
+/// The integer ring (Z, +, *, 0, 1). Payloads are tuple multiplicities;
+/// this is the ring of COUNT queries and of delta encodings (inserts map to
+/// +1, deletes to -1).
+struct I64Ring {
+  using Element = int64_t;
+  static Element Zero() { return 0; }
+  static Element One() { return 1; }
+  static Element Add(Element a, Element b) { return a + b; }
+  static Element Mul(Element a, Element b) { return a * b; }
+  static Element Neg(Element a) { return -a; }
+  static void AddInPlace(Element& a, Element b) { a += b; }
+  static bool IsZero(Element a) { return a == 0; }
+  static size_t ApproxBytes(const Element&) { return sizeof(Element); }
+};
+
+/// The real ring (R, +, *, 0, 1). Payloads are SUM aggregates; this is the
+/// ring of SUM queries and of matrix chain multiplication (matrices as
+/// binary relations with double payloads).
+struct F64Ring {
+  using Element = double;
+  static Element Zero() { return 0.0; }
+  static Element One() { return 1.0; }
+  static Element Add(Element a, Element b) { return a + b; }
+  static Element Mul(Element a, Element b) { return a * b; }
+  static Element Neg(Element a) { return -a; }
+  static void AddInPlace(Element& a, Element b) { a += b; }
+  static bool IsZero(Element a) { return a == 0.0; }
+  static size_t ApproxBytes(const Element&) { return sizeof(Element); }
+};
+
+static_assert(RingPolicy<I64Ring>);
+static_assert(RingPolicy<F64Ring>);
+
+}  // namespace fivm
+
+#endif  // FIVM_RINGS_RING_H_

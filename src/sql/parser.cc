@@ -1,0 +1,273 @@
+#include "src/sql/parser.h"
+
+#include <cctype>
+#include <cmath>
+
+namespace fivm::sql {
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kSymbol, kEnd };
+  Kind kind;
+  std::string text;  // upper-cased for idents
+  std::string raw;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token Next() {
+    while (pos_ < text_.size() && std::isspace(Byte(pos_))) ++pos_;
+    if (pos_ >= text_.size()) return Token{Token::Kind::kEnd, "", ""};
+    char c = text_[pos_];
+    if (std::isalpha(Byte(pos_)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(Byte(pos_)) || text_[pos_] == '_' ||
+              text_[pos_] == '.')) {
+        ++pos_;
+      }
+      std::string raw = text_.substr(start, pos_ - start);
+      std::string upper = raw;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+      return Token{Token::Kind::kIdent, upper, raw};
+    }
+    if (std::isdigit(Byte(pos_))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() && (std::isdigit(Byte(pos_)))) ++pos_;
+      std::string raw = text_.substr(start, pos_ - start);
+      return Token{Token::Kind::kNumber, raw, raw};
+    }
+    ++pos_;
+    return Token{Token::Kind::kSymbol, std::string(1, c), std::string(1, c)};
+  }
+
+ private:
+  unsigned char Byte(size_t i) const {
+    return static_cast<unsigned char>(text_[i]);
+  }
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, Catalog* catalog,
+         const SchemaRegistry& registry, std::string* error)
+      : lexer_(text), catalog_(catalog), registry_(registry), error_(error) {
+    Advance();
+  }
+
+  std::optional<ParsedQuery> Run() {
+    if (!ExpectKeyword("SELECT")) return std::nullopt;
+
+    // SELECT list: identifiers and one SUM(...).
+    std::vector<std::string> select_columns;
+    bool have_sum = false;
+    while (true) {
+      if (IsKeyword("SUM")) {
+        if (have_sum) return Fail("multiple SUM aggregates");
+        have_sum = true;
+        Advance();
+        if (!ExpectSymbol("(")) return std::nullopt;
+        if (!ParseSumArgument()) return std::nullopt;
+        if (!ExpectSymbol(")")) return std::nullopt;
+      } else if (cur_.kind == Token::Kind::kIdent) {
+        select_columns.push_back(cur_.raw);
+        Advance();
+      } else {
+        return Fail("expected column or SUM in SELECT list");
+      }
+      if (IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (!have_sum) return Fail("query must contain a SUM aggregate");
+
+    if (!ExpectKeyword("FROM")) return std::nullopt;
+    std::vector<std::string> relations;
+    while (true) {
+      if (cur_.kind != Token::Kind::kIdent) {
+        return Fail("expected relation name");
+      }
+      relations.push_back(cur_.raw);
+      Advance();
+      if (IsKeyword("NATURAL")) {
+        Advance();
+        if (!ExpectKeyword("JOIN")) return std::nullopt;
+        continue;
+      }
+      break;
+    }
+
+    std::vector<std::string> group_by;
+    if (IsKeyword("GROUP")) {
+      Advance();
+      if (!ExpectKeyword("BY")) return std::nullopt;
+      while (true) {
+        if (cur_.kind != Token::Kind::kIdent) {
+          return Fail("expected attribute in GROUP BY");
+        }
+        group_by.push_back(cur_.raw);
+        Advance();
+        if (IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (IsSymbol(";")) Advance();
+    if (cur_.kind != Token::Kind::kEnd) return Fail("trailing input");
+
+    // ---- Semantic assembly ------------------------------------------------
+    ParsedQuery out;
+    out.query = std::make_unique<Query>(catalog_);
+    for (const std::string& rel : relations) {
+      const std::vector<std::string>* attrs = registry_.Find(rel);
+      if (attrs == nullptr) return Fail("unknown relation " + rel);
+      Schema schema;
+      for (const std::string& a : *attrs) schema.Add(catalog_->Intern(a));
+      out.query->AddRelation(rel, schema);
+    }
+    Schema all = out.query->AllVars();
+
+    Schema free;
+    for (const std::string& g : group_by) {
+      VarId v = catalog_->Lookup(g);
+      if (v == kInvalidVar || !all.Contains(v)) {
+        return Fail("GROUP BY attribute " + g + " not in any relation");
+      }
+      free.Add(v);
+    }
+    out.query->SetFreeVars(free);
+
+    for (const std::string& col : select_columns) {
+      VarId v = catalog_->Lookup(col);
+      if (v == kInvalidVar || !free.Contains(v)) {
+        return Fail("SELECT column " + col + " must appear in GROUP BY");
+      }
+    }
+
+    for (const std::string& term : sum_idents_) {
+      VarId v = catalog_->Lookup(term);
+      if (v == kInvalidVar || !all.Contains(v)) {
+        return Fail("SUM attribute " + term + " not in any relation");
+      }
+      if (free.Contains(v)) {
+        return Fail("SUM attribute " + term + " is a GROUP BY variable");
+      }
+      bool found = false;
+      for (auto& [var, degree] : out.sum_terms) {
+        if (var == v) {
+          ++degree;
+          found = true;
+        }
+      }
+      if (!found) out.sum_terms.emplace_back(v, 1);
+    }
+    return out;
+  }
+
+ private:
+  bool ParseSumArgument() {
+    // 1 | ident (* ident)*
+    if (cur_.kind == Token::Kind::kNumber) {
+      if (cur_.text != "1") {
+        Fail("only SUM(1) or products of attributes are supported");
+        return false;
+      }
+      Advance();
+      return true;
+    }
+    while (true) {
+      if (cur_.kind != Token::Kind::kIdent) {
+        Fail("expected attribute in SUM");
+        return false;
+      }
+      sum_idents_.push_back(cur_.raw);
+      Advance();
+      if (IsSymbol("*")) {
+        Advance();
+        continue;
+      }
+      return true;
+    }
+  }
+
+  void Advance() { cur_ = lexer_.Next(); }
+
+  bool IsKeyword(const char* kw) const {
+    return cur_.kind == Token::Kind::kIdent && cur_.text == kw;
+  }
+  bool IsSymbol(const char* s) const {
+    return cur_.kind == Token::Kind::kSymbol && cur_.text == s;
+  }
+  bool ExpectKeyword(const char* kw) {
+    if (!IsKeyword(kw)) {
+      Fail(std::string("expected ") + kw);
+      return false;
+    }
+    Advance();
+    return true;
+  }
+  bool ExpectSymbol(const char* s) {
+    if (!IsSymbol(s)) {
+      Fail(std::string("expected '") + s + "'");
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  std::nullopt_t Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) *error_ = message;
+    return std::nullopt;
+  }
+
+  Lexer lexer_;
+  Token cur_;
+  Catalog* catalog_;
+  const SchemaRegistry& registry_;
+  std::string* error_;
+  std::vector<std::string> sum_idents_;
+};
+
+}  // namespace
+
+void SchemaRegistry::Register(std::string name,
+                              std::vector<std::string> attributes) {
+  relations_.emplace_back(std::move(name), std::move(attributes));
+}
+
+const std::vector<std::string>* SchemaRegistry::Find(
+    const std::string& name) const {
+  for (const auto& [n, attrs] : relations_) {
+    if (n == name) return &attrs;
+  }
+  return nullptr;
+}
+
+std::optional<ParsedQuery> Parse(const std::string& text, Catalog* catalog,
+                                 const SchemaRegistry& registry,
+                                 std::string* error) {
+  if (error != nullptr) error->clear();
+  Parser parser(text, catalog, registry, error);
+  return parser.Run();
+}
+
+LiftingMap<F64Ring> SumLiftings(const ParsedQuery& parsed) {
+  LiftingMap<F64Ring> lifts;
+  for (const auto& [var, degree] : parsed.sum_terms) {
+    int d = degree;
+    lifts.Set(var, [d](const Value& x) {
+      return std::pow(x.AsDouble(), d);
+    });
+  }
+  return lifts;
+}
+
+}  // namespace fivm::sql

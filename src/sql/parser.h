@@ -1,0 +1,53 @@
+#ifndef FIVM_SQL_PARSER_H_
+#define FIVM_SQL_PARSER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/data/catalog.h"
+#include "src/rings/lifting.h"
+#include "src/rings/ring.h"
+
+namespace fivm::sql {
+
+/// Registry of base-relation schemas available to the parser.
+class SchemaRegistry {
+ public:
+  void Register(std::string name, std::vector<std::string> attributes);
+  const std::vector<std::string>* Find(const std::string& name) const;
+
+ private:
+  std::vector<std::pair<std::string, std::vector<std::string>>> relations_;
+};
+
+/// A parsed query of the paper's dialect (Section 2):
+///
+///   SELECT X1, ..., Xf, SUM(g(X_{f+1}) * ... * g(X_m))
+///   FROM R1 NATURAL JOIN ... NATURAL JOIN Rn
+///   GROUP BY X1, ..., Xf;
+///
+/// The SUM argument is a product of attribute names (repetitions raise the
+/// degree) or the literal 1 (COUNT).
+struct ParsedQuery {
+  std::unique_ptr<Query> query;
+  /// Variables inside SUM with their degrees (empty for SUM(1)).
+  std::vector<std::pair<VarId, int>> sum_terms;
+};
+
+/// Parses `text`; returns std::nullopt and sets *error on syntax or
+/// semantic problems (unknown relation, aggregate over a group-by variable,
+/// unknown attribute).
+std::optional<ParsedQuery> Parse(const std::string& text, Catalog* catalog,
+                                 const SchemaRegistry& registry,
+                                 std::string* error);
+
+/// Lifting map realizing the parsed SUM under the real ring:
+/// g_X(x) = x^degree for each SUM term.
+LiftingMap<F64Ring> SumLiftings(const ParsedQuery& parsed);
+
+}  // namespace fivm::sql
+
+#endif  // FIVM_SQL_PARSER_H_

@@ -1,0 +1,210 @@
+#ifndef FIVM_UTIL_FLAT_HASH_MAP_H_
+#define FIVM_UTIL_FLAT_HASH_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fivm::util {
+
+/// Open-addressing hash map with linear probing and backward-shift deletion.
+///
+/// This is the workhorse index structure behind `Relation` (the paper's
+/// multi-indexed maps with memory-pooled records). Compared to
+/// std::unordered_map it avoids per-node allocations and pointer chasing,
+/// which dominate IVM delta processing where each update tuple performs a
+/// handful of point lookups.
+///
+/// Requirements: `Hash` is a callable `uint64_t(const K&)`; `K` and `V` are
+/// default-constructible, movable, and `K` is equality-comparable. Any insert
+/// may rehash and invalidate references.
+template <typename K, typename V, typename Hash>
+class FlatHashMap {
+ public:
+  struct Slot {
+    K key;
+    V value;
+  };
+
+  FlatHashMap() = default;
+  explicit FlatHashMap(Hash hash) : hash_(std::move(hash)) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    states_.clear();
+    size_ = 0;
+    capacity_ = 0;
+    mask_ = 0;
+  }
+
+  /// Returns the value mapped to `key`, default-constructing it if absent.
+  V& operator[](const K& key) {
+    ReserveForInsert();
+    size_t idx = FindSlot(key);
+    if (states_[idx] != kFull) {
+      slots_[idx].key = key;
+      slots_[idx].value = V{};
+      states_[idx] = kFull;
+      ++size_;
+    }
+    return slots_[idx].value;
+  }
+
+  V& operator[](K&& key) {
+    ReserveForInsert();
+    size_t idx = FindSlot(key);
+    if (states_[idx] != kFull) {
+      slots_[idx].key = std::move(key);
+      slots_[idx].value = V{};
+      states_[idx] = kFull;
+      ++size_;
+    }
+    return slots_[idx].value;
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr if absent.
+  V* Find(const K& key) {
+    if (size_ == 0) return nullptr;
+    size_t idx = FindSlot(key);
+    return states_[idx] == kFull ? &slots_[idx].value : nullptr;
+  }
+
+  const V* Find(const K& key) const {
+    return const_cast<FlatHashMap*>(this)->Find(key);
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  /// Inserts (key, value); returns false if the key was already present (the
+  /// stored value is untouched in that case).
+  bool Insert(K key, V value) {
+    ReserveForInsert();
+    size_t idx = FindSlot(key);
+    if (states_[idx] == kFull) return false;
+    slots_[idx].key = std::move(key);
+    slots_[idx].value = std::move(value);
+    states_[idx] = kFull;
+    ++size_;
+    return true;
+  }
+
+  /// Removes `key`. Returns true if it was present. Uses backward-shift
+  /// deletion, so no tombstones accumulate.
+  bool Erase(const K& key) {
+    if (size_ == 0) return false;
+    size_t idx = FindSlot(key);
+    if (states_[idx] != kFull) return false;
+    slots_[idx] = Slot{};
+    states_[idx] = kEmpty;
+    --size_;
+    size_t hole = idx;
+    size_t cur = (idx + 1) & mask_;
+    while (states_[cur] == kFull) {
+      size_t home = hash_(slots_[cur].key) & mask_;
+      // slots_[cur] may move into `hole` only if `hole` lies on its probe
+      // path, i.e. cyclically home <= hole <= cur.
+      bool movable;
+      if (hole <= cur) {
+        movable = (home <= hole) || (home > cur);
+      } else {
+        movable = (home <= hole) && (home > cur);
+      }
+      if (movable) {
+        slots_[hole] = std::move(slots_[cur]);
+        states_[hole] = kFull;
+        slots_[cur] = Slot{};
+        states_[cur] = kEmpty;
+        hole = cur;
+      }
+      cur = (cur + 1) & mask_;
+    }
+    return true;
+  }
+
+  /// Iterates over all live (key, value) pairs: `fn(const K&, V&)`.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (states_[i] == kFull) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (states_[i] == kFull) {
+        fn(slots_[i].key, static_cast<const V&>(slots_[i].value));
+      }
+    }
+  }
+
+  void Reserve(size_t n) {
+    size_t needed = n + n / 2 + 1;
+    if (needed > capacity_) Rehash(NextPow2(needed));
+  }
+
+  /// Approximate heap footprint, for memory accounting in benchmarks. Does
+  /// not include heap memory owned by keys/values themselves.
+  size_t ApproxBytes() const {
+    return capacity_ * (sizeof(Slot) + sizeof(uint8_t));
+  }
+
+ private:
+  enum : uint8_t { kEmpty = 0, kFull = 1 };
+
+  static size_t NextPow2(size_t n) {
+    size_t p = 8;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  void ReserveForInsert() {
+    if (capacity_ == 0 || (size_ + 1) * 4 >= capacity_ * 3) {
+      Rehash(capacity_ == 0 ? 8 : capacity_ * 2);
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_states = std::move(states_);
+    size_t old_capacity = capacity_;
+
+    capacity_ = new_capacity;
+    mask_ = capacity_ - 1;
+    slots_.assign(capacity_, Slot{});
+    states_.assign(capacity_, kEmpty);
+
+    for (size_t i = 0; i < old_capacity; ++i) {
+      if (old_states[i] == kFull) {
+        size_t idx = FindSlot(old_slots[i].key);
+        slots_[idx] = std::move(old_slots[i]);
+        states_[idx] = kFull;
+      }
+    }
+  }
+
+  size_t FindSlot(const K& key) const {
+    size_t idx = hash_(key) & mask_;
+    while (true) {
+      if (states_[idx] != kFull) return idx;
+      if (slots_[idx].key == key) return idx;
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  Hash hash_{};
+  std::vector<Slot> slots_;
+  std::vector<uint8_t> states_;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace fivm::util
+
+#endif  // FIVM_UTIL_FLAT_HASH_MAP_H_

@@ -1,0 +1,43 @@
+#ifndef FIVM_UTIL_HASH_H_
+#define FIVM_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace fivm::util {
+
+/// 64-bit finalizer from SplitMix64. Good avalanche behaviour; used as the
+/// scalar hash and as the combiner step for tuple hashing.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+inline uint64_t HashBytes(const void* data, size_t len) {
+  // FNV-1a with a strong finalizer; strings are rare in the hot path (they
+  // are dictionary-encoded at load time), so simplicity wins here.
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace fivm::util
+
+#endif  // FIVM_UTIL_HASH_H_

@@ -1,0 +1,66 @@
+// Global operator new/delete hooks that feed MemoryTracker. Linked into
+// benchmark binaries only (object library `fivm_memhook`), so tests and
+// examples keep vanilla allocator behavior.
+
+#include <malloc.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "src/util/memory_tracker.h"
+
+namespace {
+
+struct HookInit {
+  HookInit() { fivm::util::MemoryTracker::MarkEnabled(); }
+};
+HookInit g_hook_init;
+
+void* TrackedAlloc(size_t size) {
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  fivm::util::MemoryTracker::RecordAlloc(malloc_usable_size(p));
+  return p;
+}
+
+void* TrackedAlloc(size_t size, std::align_val_t align) {
+  void* p = std::aligned_alloc(static_cast<size_t>(align),
+                               ((size + static_cast<size_t>(align) - 1) /
+                                static_cast<size_t>(align)) *
+                                   static_cast<size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  fivm::util::MemoryTracker::RecordAlloc(malloc_usable_size(p));
+  return p;
+}
+
+void TrackedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  fivm::util::MemoryTracker::RecordFree(malloc_usable_size(p));
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(size_t size) { return TrackedAlloc(size); }
+void* operator new[](size_t size) { return TrackedAlloc(size); }
+void* operator new(size_t size, std::align_val_t align) {
+  return TrackedAlloc(size, align);
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  return TrackedAlloc(size, align);
+}
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size ? size : 1);
+  if (p != nullptr) fivm::util::MemoryTracker::RecordAlloc(malloc_usable_size(p));
+  return p;
+}
+
+void operator delete(void* p) noexcept { TrackedFree(p); }
+void operator delete[](void* p) noexcept { TrackedFree(p); }
+void operator delete(void* p, size_t) noexcept { TrackedFree(p); }
+void operator delete[](void* p, size_t) noexcept { TrackedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { TrackedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { TrackedFree(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  TrackedFree(p);
+}

@@ -1,0 +1,36 @@
+#ifndef FIVM_UTIL_MEMORY_TRACKER_H_
+#define FIVM_UTIL_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fivm::util {
+
+/// Process-wide heap accounting, fed by the operator new/delete hooks in
+/// memhook_new.cc (linked into benchmark binaries only). When the hooks are
+/// not linked, all readings are zero and `enabled()` is false.
+///
+/// Used to reproduce the "Allocated Memory" series of Figures 7, 8 and 13.
+class MemoryTracker {
+ public:
+  /// Bytes currently allocated (live).
+  static int64_t CurrentBytes();
+
+  /// High-water mark of live bytes since the last ResetPeak().
+  static int64_t PeakBytes();
+
+  /// Resets the peak to the current live byte count.
+  static void ResetPeak();
+
+  /// True when the allocation hooks are linked into this binary.
+  static bool enabled();
+
+  // Internal: called by the new/delete hooks.
+  static void RecordAlloc(size_t bytes);
+  static void RecordFree(size_t bytes);
+  static void MarkEnabled();
+};
+
+}  // namespace fivm::util
+
+#endif  // FIVM_UTIL_MEMORY_TRACKER_H_

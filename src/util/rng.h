@@ -1,0 +1,102 @@
+#ifndef FIVM_UTIL_RNG_H_
+#define FIVM_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace fivm::util {
+
+/// xoshiro256** — fast, high-quality PRNG for workload generation and
+/// property tests. Deterministic given the seed, so experiments are
+/// reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform in [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + UniformDouble() * (hi - lo);
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed sampler over [0, n). Used to give synthetic workloads
+/// the key skew of the paper's real datasets (foreign keys in Retailer,
+/// follower degrees in Twitter).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta) : n_(n) {
+    cdf_.reserve(n);
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+    double acc = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      acc += 1.0 / std::pow(double(i), theta) / sum;
+      cdf_.push_back(acc);
+    }
+  }
+
+  uint64_t Sample(Rng& rng) const {
+    double u = rng.UniformDouble();
+    // Binary search over the CDF.
+    size_t lo = 0, hi = cdf_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < n_ ? lo : n_ - 1;
+  }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace fivm::util
+
+#endif  // FIVM_UTIL_RNG_H_

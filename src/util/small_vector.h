@@ -1,0 +1,223 @@
+#ifndef FIVM_UTIL_SMALL_VECTOR_H_
+#define FIVM_UTIL_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fivm::util {
+
+/// A vector with inline storage for up to `N` elements. Falls back to the
+/// heap once the inline capacity is exceeded. Used pervasively for tuples,
+/// schemas, and adjacency lists, where the common case is a handful of
+/// elements and heap allocation per object would dominate.
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  explicit SmallVector(size_t n) { resize(n); }
+
+  SmallVector(size_t n, const T& value) {
+    reserve(n);
+    for (size_t i = 0; i < n; ++i) push_back(value);
+  }
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  template <typename It>
+  SmallVector(It first, It last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+  }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this == &other) return *this;
+    Destroy();
+    MoveFrom(std::move(other));
+    return *this;
+  }
+
+  ~SmallVector() { Destroy(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    new (data_ + size_) T(v);
+    ++size_;
+  }
+
+  void push_back(T&& v) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    new (data_ + size_) T(std::move(v));
+    ++size_;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    T* p = new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+    data_[size_].~T();
+  }
+
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void resize(size_t n) {
+    if (n < size_) {
+      for (size_t i = n; i < size_; ++i) data_[i].~T();
+      size_ = n;
+    } else {
+      reserve(n);
+      for (size_t i = size_; i < n; ++i) new (data_ + i) T();
+      size_ = n;
+    }
+  }
+
+  iterator erase(iterator pos) {
+    assert(pos >= begin() && pos < end());
+    std::move(pos + 1, end(), pos);
+    pop_back();
+    return pos;
+  }
+
+  bool operator==(const SmallVector& other) const {
+    if (size_ != other.size_) return false;
+    for (size_t i = 0; i < size_; ++i) {
+      if (!(data_[i] == other.data_[i])) return false;
+    }
+    return true;
+  }
+
+  bool operator!=(const SmallVector& other) const { return !(*this == other); }
+
+  bool operator<(const SmallVector& other) const {
+    return std::lexicographical_compare(begin(), end(), other.begin(),
+                                        other.end());
+  }
+
+ private:
+  bool IsInline() const {
+    return data_ == reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void Grow(size_t new_capacity) {
+    new_capacity = std::max<size_t>(new_capacity, N ? N : 1);
+    if (new_capacity <= capacity_) return;
+    T* new_data =
+        static_cast<T*>(::operator new(new_capacity * sizeof(T),
+                                       std::align_val_t(alignof(T))));
+    for (size_t i = 0; i < size_; ++i) {
+      new (new_data + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!IsInline()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+    data_ = new_data;
+    capacity_ = new_capacity;
+  }
+
+  void Destroy() {
+    clear();
+    if (!IsInline()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+      data_ = reinterpret_cast<T*>(inline_storage_);
+      capacity_ = N;
+    }
+  }
+
+  void MoveFrom(SmallVector&& other) {
+    if (other.IsInline()) {
+      data_ = reinterpret_cast<T*>(inline_storage_);
+      capacity_ = N;
+      size_ = 0;
+      for (size_t i = 0; i < other.size_; ++i) {
+        new (data_ + i) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+      size_ = other.size_;
+      other.size_ = 0;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = reinterpret_cast<T*>(other.inline_storage_);
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N ? N * sizeof(T) : 1];
+  T* data_ = reinterpret_cast<T*>(inline_storage_);
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace fivm::util
+
+#endif  // FIVM_UTIL_SMALL_VECTOR_H_

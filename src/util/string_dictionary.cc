@@ -1,0 +1,27 @@
+#include "src/util/string_dictionary.h"
+
+#include <cassert>
+
+namespace fivm::util {
+
+int64_t StringDictionary::Intern(std::string_view s) {
+  std::string key(s);
+  if (const int64_t* found = codes_.Find(key)) return *found;
+  int64_t code = static_cast<int64_t>(strings_.size());
+  strings_.push_back(key);
+  codes_.Insert(std::move(key), code);
+  return code;
+}
+
+int64_t StringDictionary::Lookup(std::string_view s) const {
+  std::string key(s);
+  const int64_t* found = codes_.Find(key);
+  return found ? *found : -1;
+}
+
+const std::string& StringDictionary::Decode(int64_t code) const {
+  assert(code >= 0 && static_cast<size_t>(code) < strings_.size());
+  return strings_[static_cast<size_t>(code)];
+}
+
+}  // namespace fivm::util

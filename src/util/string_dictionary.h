@@ -1,0 +1,41 @@
+#ifndef FIVM_UTIL_STRING_DICTIONARY_H_
+#define FIVM_UTIL_STRING_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/flat_hash_map.h"
+#include "src/util/hash.h"
+
+namespace fivm::util {
+
+/// Interns strings to dense int64 codes. Key columns with string domains
+/// (e.g. category names) are dictionary-encoded at load time so the hot
+/// path only ever hashes and compares fixed-width values.
+class StringDictionary {
+ public:
+  /// Returns the code for `s`, assigning the next dense code if unseen.
+  int64_t Intern(std::string_view s);
+
+  /// Returns the code for `s`, or -1 if it was never interned.
+  int64_t Lookup(std::string_view s) const;
+
+  /// Inverse mapping; `code` must have been produced by Intern().
+  const std::string& Decode(int64_t code) const;
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  struct StringHash {
+    uint64_t operator()(const std::string& s) const { return HashString(s); }
+  };
+
+  std::vector<std::string> strings_;
+  FlatHashMap<std::string, int64_t, StringHash> codes_;
+};
+
+}  // namespace fivm::util
+
+#endif  // FIVM_UTIL_STRING_DICTIONARY_H_

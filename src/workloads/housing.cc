@@ -1,0 +1,159 @@
+#include "src/workloads/housing.h"
+
+#include <cassert>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace fivm::workloads {
+
+std::unique_ptr<HousingDataset> HousingDataset::Generate(
+    const HousingConfig& cfg) {
+  auto ds = std::unique_ptr<HousingDataset>(new HousingDataset());
+  Catalog& c = ds->catalog;
+  ds->postcode = c.Intern("postcode");
+
+  Schema house_schema{ds->postcode};
+  const char* house_locals[] = {"livingarea", "price",   "nbbedrooms",
+                                "nbbathrooms", "kitchensize", "house",
+                                "flat",        "unknown", "garden",
+                                "parking"};
+  for (const char* n : house_locals) house_schema.Add(c.Intern(n));
+  ds->livingarea = c.Lookup("livingarea");
+  ds->price = c.Lookup("price");
+  ds->nbbedrooms = c.Lookup("nbbedrooms");
+
+  Schema shop_schema{ds->postcode};
+  for (const char* n : {"openinghoursshop", "pricerangeshop", "sainsburys",
+                        "tesco", "ms"}) {
+    shop_schema.Add(c.Intern(n));
+  }
+  Schema institution_schema{ds->postcode};
+  for (const char* n : {"typeeducation", "sizeinstitution"}) {
+    institution_schema.Add(c.Intern(n));
+  }
+  Schema restaurant_schema{ds->postcode};
+  for (const char* n : {"openinghoursrest", "pricerangerest"}) {
+    restaurant_schema.Add(c.Intern(n));
+  }
+  Schema demographics_schema{ds->postcode};
+  for (const char* n : {"averagesalary", "crimesperyear", "unemployment",
+                        "nbhospitals"}) {
+    demographics_schema.Add(c.Intern(n));
+  }
+  Schema transport_schema{ds->postcode};
+  for (const char* n : {"nbbuslines", "nbtrainstations",
+                        "distancecitycentre"}) {
+    transport_schema.Add(c.Intern(n));
+  }
+
+  ds->query = std::make_unique<Query>(&ds->catalog);
+  ds->house = ds->query->AddRelation("House", house_schema);
+  ds->shop = ds->query->AddRelation("Shop", shop_schema);
+  ds->institution = ds->query->AddRelation("Institution", institution_schema);
+  ds->restaurant = ds->query->AddRelation("Restaurant", restaurant_schema);
+  ds->demographics =
+      ds->query->AddRelation("Demographics", demographics_schema);
+  ds->transport = ds->query->AddRelation("Transport", transport_schema);
+
+  // Variable order: postcode on top, one chain of local attributes per
+  // relation (the paper's "optimal view tree" for the star join).
+  VariableOrder& vo = ds->vorder;
+  int root = vo.AddNode(ds->postcode, -1);
+  for (const Schema* sch :
+       {&house_schema, &shop_schema, &institution_schema, &restaurant_schema,
+        &demographics_schema, &transport_schema}) {
+    int parent = root;
+    for (size_t i = 1; i < sch->size(); ++i) {
+      parent = vo.AddNode((*sch)[i], parent);
+    }
+  }
+  std::string error;
+  bool ok = vo.Finalize(*ds->query, &error);
+  assert(ok && "housing variable order must validate");
+  (void)ok;
+
+  // ---- Data generation ----------------------------------------------------
+  util::Rng rng(cfg.seed);
+  ds->tuples.resize(6);
+  const int growing = cfg.scale;  // rows per postcode in growing relations
+
+  for (uint64_t pc = 0; pc < cfg.postcodes; ++pc) {
+    double zone_factor = rng.UniformDouble(0.5, 2.0);  // location quality
+
+    // House: `scale` rows per postcode, price correlated with features.
+    for (int k = 0; k < growing; ++k) {
+      Tuple t;
+      t.Append(Value::Int(static_cast<int64_t>(pc)));
+      double area = rng.UniformDouble(40.0, 250.0);
+      int64_t bedrooms = rng.UniformInt(1, 6);
+      int64_t bathrooms = rng.UniformInt(1, 3);
+      double kitchen = rng.UniformDouble(5.0, 30.0);
+      double price = zone_factor * (1500.0 * area + 20000.0 * bedrooms +
+                                    15000.0 * bathrooms) +
+                     rng.UniformDouble(-2e4, 2e4);
+      t.Append(Value::Double(area));
+      t.Append(Value::Double(price));
+      t.Append(Value::Int(bedrooms));
+      t.Append(Value::Int(bathrooms));
+      t.Append(Value::Double(kitchen));
+      t.Append(Value::Int(rng.Bernoulli(0.5) ? 1 : 0));  // house
+      t.Append(Value::Int(rng.Bernoulli(0.3) ? 1 : 0));  // flat
+      t.Append(Value::Int(rng.Bernoulli(0.2) ? 1 : 0));  // unknown
+      t.Append(Value::Int(rng.Bernoulli(0.6) ? 1 : 0));  // garden
+      t.Append(Value::Int(rng.Bernoulli(0.4) ? 1 : 0));  // parking
+      ds->tuples[ds->house].push_back(std::move(t));
+    }
+
+    // Shop: grows with scale.
+    for (int k = 0; k < growing; ++k) {
+      Tuple t;
+      t.Append(Value::Int(static_cast<int64_t>(pc)));
+      t.Append(Value::Int(rng.UniformInt(6, 14)));  // openinghours
+      t.Append(Value::Int(rng.UniformInt(1, 5)));   // pricerange
+      t.Append(Value::Int(rng.Bernoulli(0.3) ? 1 : 0));
+      t.Append(Value::Int(rng.Bernoulli(0.4) ? 1 : 0));
+      t.Append(Value::Int(rng.Bernoulli(0.2) ? 1 : 0));
+      ds->tuples[ds->shop].push_back(std::move(t));
+    }
+
+    // Restaurant: grows with scale.
+    for (int k = 0; k < growing; ++k) {
+      Tuple t;
+      t.Append(Value::Int(static_cast<int64_t>(pc)));
+      t.Append(Value::Int(rng.UniformInt(8, 16)));
+      t.Append(Value::Int(rng.UniformInt(1, 5)));
+      ds->tuples[ds->restaurant].push_back(std::move(t));
+    }
+
+    // Institution, Demographics, Transport: one row per postcode.
+    {
+      Tuple t;
+      t.Append(Value::Int(static_cast<int64_t>(pc)));
+      t.Append(Value::Int(rng.UniformInt(0, 3)));
+      t.Append(Value::Int(rng.UniformInt(50, 2000)));
+      ds->tuples[ds->institution].push_back(std::move(t));
+    }
+    {
+      Tuple t;
+      t.Append(Value::Int(static_cast<int64_t>(pc)));
+      t.Append(Value::Double(zone_factor * rng.UniformDouble(2e4, 6e4)));
+      t.Append(Value::Int(rng.UniformInt(10, 500)));
+      t.Append(Value::Double(rng.UniformDouble(0.02, 0.15)));
+      t.Append(Value::Int(rng.UniformInt(0, 4)));
+      ds->tuples[ds->demographics].push_back(std::move(t));
+    }
+    {
+      Tuple t;
+      t.Append(Value::Int(static_cast<int64_t>(pc)));
+      t.Append(Value::Int(rng.UniformInt(0, 12)));
+      t.Append(Value::Int(rng.UniformInt(0, 3)));
+      t.Append(Value::Double(rng.UniformDouble(0.1, 25.0)));
+      ds->tuples[ds->transport].push_back(std::move(t));
+    }
+  }
+
+  return ds;
+}
+
+}  // namespace fivm::workloads

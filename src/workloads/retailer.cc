@@ -1,0 +1,170 @@
+#include "src/workloads/retailer.h"
+
+#include <cassert>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace fivm::workloads {
+
+std::unique_ptr<RetailerDataset> RetailerDataset::Generate(
+    const RetailerConfig& cfg) {
+  auto ds = std::unique_ptr<RetailerDataset>(new RetailerDataset());
+  Catalog& c = ds->catalog;
+
+  ds->locn = c.Intern("locn");
+  ds->dateid = c.Intern("dateid");
+  ds->ksn = c.Intern("ksn");
+  ds->zip = c.Intern("zip");
+
+  // Inventory(locn, dateid, ksn, inventoryunits).
+  Schema inv_schema{ds->locn, ds->dateid, ds->ksn, c.Intern("inventoryunits")};
+
+  // Location(locn, zip, 13 locals).
+  const char* location_locals[] = {
+      "rgn_cd",         "clim_zn_nbr",       "tot_area_sq_ft",
+      "sell_area_sq_ft", "avghhi",           "supertargetdistance",
+      "supertargetdrivetime", "targetdistance", "targetdrivetime",
+      "walmartdistance", "walmartdrivetime", "walmartsupercenterdistance",
+      "walmartsupercenterdrivetime"};
+  Schema loc_schema{ds->locn, ds->zip};
+  for (const char* name : location_locals) loc_schema.Add(c.Intern(name));
+
+  // Census(zip, 15 locals).
+  const char* census_locals[] = {
+      "population",  "white",    "asian",     "pacific",
+      "blackafrican", "medianage", "occupiedhouseunits", "houseunits",
+      "families",    "households", "husbwife", "males",
+      "females",     "householdschildren", "hispanic"};
+  Schema census_schema{ds->zip};
+  for (const char* name : census_locals) census_schema.Add(c.Intern(name));
+
+  // Item(ksn, subcategory, category, categoryCluster, prize).
+  Schema item_schema{ds->ksn, c.Intern("subcategory"), c.Intern("category"),
+                     c.Intern("categoryCluster"), c.Intern("prize")};
+
+  // Weather(locn, dateid, rain, snow, maxtemp, mintemp, meanwind, thunder).
+  Schema weather_schema{ds->locn,           ds->dateid,
+                        c.Intern("rain"),   c.Intern("snow"),
+                        c.Intern("maxtemp"), c.Intern("mintemp"),
+                        c.Intern("meanwind"), c.Intern("thunder")};
+
+  ds->query = std::make_unique<Query>(&ds->catalog);
+  ds->inventory = ds->query->AddRelation("Inventory", inv_schema);
+  ds->item = ds->query->AddRelation("Item", item_schema);
+  ds->weather = ds->query->AddRelation("Weather", weather_schema);
+  ds->location = ds->query->AddRelation("Location", loc_schema);
+  ds->census = ds->query->AddRelation("Census", census_schema);
+
+  // Variable order: locn - { dateid - { ksn - {item locals, inventoryunits},
+  // weather locals }, zip - {location locals, census locals} }.
+  VariableOrder& vo = ds->vorder;
+  int n_locn = vo.AddNode(ds->locn, -1);
+  int n_date = vo.AddNode(ds->dateid, n_locn);
+  int n_ksn = vo.AddNode(ds->ksn, n_date);
+  int parent = n_ksn;
+  for (size_t i = 1; i < item_schema.size(); ++i) {
+    parent = vo.AddNode(item_schema[i], parent);
+  }
+  vo.AddNode(inv_schema[3], n_ksn);  // inventoryunits
+  parent = n_date;
+  for (size_t i = 2; i < weather_schema.size(); ++i) {
+    parent = vo.AddNode(weather_schema[i], parent);
+  }
+  int n_zip = vo.AddNode(ds->zip, n_locn);
+  parent = n_zip;
+  for (size_t i = 2; i < loc_schema.size(); ++i) {
+    parent = vo.AddNode(loc_schema[i], parent);
+  }
+  parent = n_zip;
+  for (size_t i = 1; i < census_schema.size(); ++i) {
+    parent = vo.AddNode(census_schema[i], parent);
+  }
+  std::string error;
+  bool ok = vo.Finalize(*ds->query, &error);
+  assert(ok && "retailer variable order must validate");
+  (void)ok;
+
+  // ---- Data generation ----------------------------------------------------
+  util::Rng rng(cfg.seed);
+  util::ZipfSampler locn_sampler(cfg.locations, cfg.zipf_theta);
+  util::ZipfSampler ksn_sampler(cfg.products, cfg.zipf_theta);
+  const uint64_t zips = cfg.locations / 2 + 1;
+
+  ds->tuples.resize(5);
+
+  // Location: one row per store.
+  for (uint64_t l = 0; l < cfg.locations; ++l) {
+    Tuple t;
+    t.Append(Value::Int(static_cast<int64_t>(l)));
+    t.Append(Value::Int(static_cast<int64_t>(l % zips)));
+    t.Append(Value::Int(rng.UniformInt(1, 9)));            // rgn_cd
+    t.Append(Value::Int(rng.UniformInt(1, 20)));           // clim_zn_nbr
+    t.Append(Value::Double(rng.UniformDouble(2e4, 2e5)));  // tot_area
+    t.Append(Value::Double(rng.UniformDouble(1e4, 1e5)));  // sell_area
+    t.Append(Value::Double(rng.UniformDouble(3e4, 2e5)));  // avghhi
+    for (int d = 0; d < 8; ++d) {
+      t.Append(Value::Double(rng.UniformDouble(0.5, 60.0)));  // distances
+    }
+    ds->tuples[ds->location].push_back(std::move(t));
+  }
+
+  // Census: one row per zip.
+  for (uint64_t z = 0; z < zips; ++z) {
+    Tuple t;
+    t.Append(Value::Int(static_cast<int64_t>(z)));
+    int64_t population = rng.UniformInt(5000, 80000);
+    t.Append(Value::Int(population));
+    for (int k = 0; k < 5; ++k) {
+      t.Append(Value::Int(rng.UniformInt(0, population)));
+    }
+    t.Append(Value::Double(rng.UniformDouble(20.0, 55.0)));  // medianage
+    for (int k = 0; k < 9; ++k) {
+      t.Append(Value::Int(rng.UniformInt(0, population / 2)));
+    }
+    ds->tuples[ds->census].push_back(std::move(t));
+  }
+
+  // Item: one row per product, with a category hierarchy.
+  for (uint64_t p = 0; p < cfg.products; ++p) {
+    Tuple t;
+    t.Append(Value::Int(static_cast<int64_t>(p)));
+    int64_t subcategory = static_cast<int64_t>(p % 97);
+    t.Append(Value::Int(subcategory));
+    t.Append(Value::Int(subcategory % 17));  // category
+    t.Append(Value::Int(subcategory % 5));   // categoryCluster
+    t.Append(Value::Double(rng.UniformDouble(0.5, 300.0)));  // prize
+    ds->tuples[ds->item].push_back(std::move(t));
+  }
+
+  // Weather: one row per (locn, date).
+  for (uint64_t l = 0; l < cfg.locations; ++l) {
+    for (uint64_t d = 0; d < cfg.dates; ++d) {
+      Tuple t;
+      t.Append(Value::Int(static_cast<int64_t>(l)));
+      t.Append(Value::Int(static_cast<int64_t>(d)));
+      t.Append(Value::Int(rng.Bernoulli(0.3) ? 1 : 0));       // rain
+      t.Append(Value::Int(rng.Bernoulli(0.05) ? 1 : 0));      // snow
+      double maxtemp = rng.UniformDouble(-5.0, 40.0);
+      t.Append(Value::Double(maxtemp));
+      t.Append(Value::Double(maxtemp - rng.UniformDouble(2.0, 15.0)));
+      t.Append(Value::Double(rng.UniformDouble(0.0, 30.0)));  // meanwind
+      t.Append(Value::Int(rng.Bernoulli(0.02) ? 1 : 0));      // thunder
+      ds->tuples[ds->weather].push_back(std::move(t));
+    }
+  }
+
+  // Inventory: the fact stream, Zipf-skewed over locations and products.
+  for (uint64_t i = 0; i < cfg.inventory_rows; ++i) {
+    Tuple t;
+    t.Append(Value::Int(static_cast<int64_t>(locn_sampler.Sample(rng))));
+    t.Append(Value::Int(rng.UniformInt(0, cfg.dates - 1)));
+    t.Append(Value::Int(static_cast<int64_t>(ksn_sampler.Sample(rng))));
+    t.Append(Value::Int(rng.UniformInt(0, 99)));  // inventoryunits
+    ds->tuples[ds->inventory].push_back(std::move(t));
+  }
+
+  return ds;
+}
+
+}  // namespace fivm::workloads

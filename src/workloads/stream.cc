@@ -1,0 +1,36 @@
+#include "src/workloads/stream.h"
+
+namespace fivm::workloads {
+
+UpdateStream UpdateStream::RoundRobin(
+    const std::vector<std::vector<Tuple>>& per_relation, size_t batch_size) {
+  UpdateStream stream;
+  std::vector<size_t> cursor(per_relation.size(), 0);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t r = 0; r < per_relation.size(); ++r) {
+      if (cursor[r] >= per_relation[r].size()) continue;
+      progress = true;
+      Batch batch;
+      batch.relation = static_cast<int>(r);
+      size_t end = std::min(cursor[r] + batch_size, per_relation[r].size());
+      batch.tuples.assign(per_relation[r].begin() + cursor[r],
+                          per_relation[r].begin() + end);
+      stream.total_tuples_ += batch.tuples.size();
+      cursor[r] = end;
+      stream.batches_.push_back(std::move(batch));
+    }
+  }
+  return stream;
+}
+
+UpdateStream UpdateStream::SingleRelation(int relation,
+                                          const std::vector<Tuple>& tuples,
+                                          size_t batch_size) {
+  std::vector<std::vector<Tuple>> per_relation(relation + 1);
+  per_relation[relation] = tuples;
+  return RoundRobin(per_relation, batch_size);
+}
+
+}  // namespace fivm::workloads

@@ -1,0 +1,51 @@
+#ifndef FIVM_WORKLOADS_STREAM_H_
+#define FIVM_WORKLOADS_STREAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/data/relation.h"
+#include "src/data/tuple.h"
+
+namespace fivm::workloads {
+
+/// A synthesized update stream (Section 7): tuples of the input relations
+/// interleaved round-robin and grouped into fixed-size batches, each batch
+/// targeting one relation.
+class UpdateStream {
+ public:
+  struct Batch {
+    int relation;
+    std::vector<Tuple> tuples;
+  };
+
+  /// Interleaves the per-relation tuple lists round-robin in chunks of
+  /// `batch_size` until all lists are exhausted.
+  static UpdateStream RoundRobin(
+      const std::vector<std::vector<Tuple>>& per_relation, size_t batch_size);
+
+  /// A stream touching only `relation` (the paper's ONE scenario).
+  static UpdateStream SingleRelation(int relation,
+                                     const std::vector<Tuple>& tuples,
+                                     size_t batch_size);
+
+  const std::vector<Batch>& batches() const { return batches_; }
+  size_t total_tuples() const { return total_tuples_; }
+
+  /// Converts a batch into a delta relation with unit payloads (inserts).
+  template <typename Ring>
+  static Relation<Ring> ToDelta(const Query& query, const Batch& batch) {
+    Relation<Ring> delta(query.relation(batch.relation).schema);
+    for (const Tuple& t : batch.tuples) delta.Add(t, Ring::One());
+    return delta;
+  }
+
+ private:
+  std::vector<Batch> batches_;
+  size_t total_tuples_ = 0;
+};
+
+}  // namespace fivm::workloads
+
+#endif  // FIVM_WORKLOADS_STREAM_H_

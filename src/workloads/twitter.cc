@@ -1,0 +1,48 @@
+#include "src/workloads/twitter.h"
+
+#include <cassert>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace fivm::workloads {
+
+std::unique_ptr<TwitterDataset> TwitterDataset::Generate(
+    const TwitterConfig& cfg) {
+  auto ds = std::unique_ptr<TwitterDataset>(new TwitterDataset());
+  Catalog& c = ds->catalog;
+  ds->A = c.Intern("A");
+  ds->B = c.Intern("B");
+  ds->C = c.Intern("C");
+
+  ds->query = std::make_unique<Query>(&ds->catalog);
+  ds->r = ds->query->AddRelation("R", Schema{ds->A, ds->B});
+  ds->s = ds->query->AddRelation("S", Schema{ds->B, ds->C});
+  ds->t = ds->query->AddRelation("T", Schema{ds->C, ds->A});
+
+  // Variable order A - B - C (Figure 9): R's lowest variable is B; S and T
+  // bottom out at C.
+  VariableOrder& vo = ds->vorder;
+  int a = vo.AddNode(ds->A, -1);
+  int b = vo.AddNode(ds->B, a);
+  vo.AddNode(ds->C, b);
+  std::string error;
+  bool ok = vo.Finalize(*ds->query, &error);
+  assert(ok && "triangle variable order must validate");
+  (void)ok;
+
+  // Skewed digraph; edges split round-robin into the three relations.
+  util::Rng rng(cfg.seed);
+  util::ZipfSampler sampler(cfg.nodes, cfg.zipf_theta);
+  ds->tuples.resize(3);
+  for (uint64_t e = 0; e < cfg.edges; ++e) {
+    int64_t src = static_cast<int64_t>(sampler.Sample(rng));
+    int64_t dst = static_cast<int64_t>(sampler.Sample(rng));
+    Tuple t = Tuple::Ints({src, dst});
+    ds->tuples[e % 3].push_back(std::move(t));
+  }
+
+  return ds;
+}
+
+}  // namespace fivm::workloads

@@ -1,0 +1,48 @@
+#ifndef FIVM_WORKLOADS_TWITTER_H_
+#define FIVM_WORKLOADS_TWITTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/core/variable_order.h"
+#include "src/data/catalog.h"
+#include "src/data/tuple.h"
+
+namespace fivm::workloads {
+
+/// Synthetic stand-in for the Higgs Twitter dataset (Appendix C): a skewed
+/// directed graph whose edge list is split into three equal relations
+/// R(A,B), S(B,C), T(C,A), queried with the triangle query
+/// Q = ⊕_A ⊕_B ⊕_C R ⊗ S ⊗ T over the variable order A-B-C.
+struct TwitterConfig {
+  uint64_t nodes = 5000;
+  uint64_t edges = 30000;
+  double zipf_theta = 0.8;  // follower-degree skew
+  uint64_t seed = 3;
+};
+
+class TwitterDataset {
+ public:
+  static std::unique_ptr<TwitterDataset> Generate(const TwitterConfig& cfg);
+
+  TwitterDataset(const TwitterDataset&) = delete;
+  TwitterDataset& operator=(const TwitterDataset&) = delete;
+
+  Catalog catalog;
+  std::unique_ptr<Query> query;
+  VariableOrder vorder;  // A - B - C, with R under B and S, T under C
+
+  int r = -1, s = -1, t = -1;
+  VarId A = 0, B = 0, C = 0;
+
+  std::vector<std::vector<Tuple>> tuples;
+
+ private:
+  TwitterDataset() = default;
+};
+
+}  // namespace fivm::workloads
+
+#endif  // FIVM_WORKLOADS_TWITTER_H_

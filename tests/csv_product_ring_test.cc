@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/core/ivm_engine.h"
+#include "src/core/query.h"
+#include "src/core/variable_order.h"
+#include "src/core/view_tree.h"
+#include "src/data/csv.h"
+#include "src/rings/product_ring.h"
+
+namespace fivm {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents) {
+    path_ = std::string(::testing::TempDir()) + "/fivm_csv_" +
+            std::to_string(counter_++) + ".csv";
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static int counter_;
+  std::string path_;
+};
+int TempFile::counter_ = 0;
+
+TEST(CsvTest, ParseTypedLine) {
+  Tuple t;
+  std::string error;
+  csv::LoadOptions opts;
+  ASSERT_TRUE(csv::ParseLine(
+      "42,3.5,7", {csv::ColumnType::kInt, csv::ColumnType::kDouble,
+                   csv::ColumnType::kInt},
+      opts, &t, &error))
+      << error;
+  EXPECT_EQ(t[0].AsInt(), 42);
+  EXPECT_DOUBLE_EQ(t[1].AsDouble(), 3.5);
+  EXPECT_EQ(t[2].AsInt(), 7);
+}
+
+TEST(CsvTest, ParseRejectsArityMismatch) {
+  Tuple t;
+  std::string error;
+  csv::LoadOptions opts;
+  EXPECT_FALSE(csv::ParseLine("1,2", {csv::ColumnType::kInt}, opts, &t,
+                              &error));
+  EXPECT_NE(error.find("fields"), std::string::npos);
+}
+
+TEST(CsvTest, ParseRejectsBadNumbers) {
+  Tuple t;
+  std::string error;
+  csv::LoadOptions opts;
+  EXPECT_FALSE(
+      csv::ParseLine("abc", {csv::ColumnType::kInt}, opts, &t, &error));
+  EXPECT_FALSE(
+      csv::ParseLine("1.2.3", {csv::ColumnType::kDouble}, opts, &t, &error));
+}
+
+TEST(CsvTest, StringColumnsDictionaryEncode) {
+  util::StringDictionary dict;
+  csv::LoadOptions opts;
+  opts.dictionary = &dict;
+  Tuple a, b;
+  std::string error;
+  ASSERT_TRUE(csv::ParseLine("apple,1", {csv::ColumnType::kString,
+                                         csv::ColumnType::kInt},
+                             opts, &a, &error));
+  ASSERT_TRUE(csv::ParseLine("apple,2", {csv::ColumnType::kString,
+                                         csv::ColumnType::kInt},
+                             opts, &b, &error));
+  EXPECT_EQ(a[0], b[0]);  // same code
+  EXPECT_EQ(dict.Decode(a[0].AsInt()), "apple");
+}
+
+TEST(CsvTest, LoadRelationFromFile) {
+  TempFile file("locn,units\n1,10\n2,20\n1,10\n");
+  Relation<I64Ring> rel;
+  std::string error;
+  csv::LoadOptions opts;
+  opts.has_header = true;
+  ASSERT_TRUE(csv::LoadRelation(file.path(), Schema{0, 1},
+                                {csv::ColumnType::kInt,
+                                 csv::ColumnType::kInt},
+                                opts, &rel, &error))
+      << error;
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(*rel.Find(Tuple::Ints({1, 10})), 2);  // duplicate accumulated
+  EXPECT_EQ(*rel.Find(Tuple::Ints({2, 20})), 1);
+}
+
+TEST(CsvTest, LoadReportsLineNumberOnError) {
+  TempFile file("1\n2\noops\n");
+  std::vector<Tuple> tuples;
+  std::string error;
+  csv::LoadOptions opts;
+  EXPECT_FALSE(csv::LoadTuples(file.path(), {csv::ColumnType::kInt}, opts,
+                               &tuples, &error));
+  EXPECT_NE(error.find(":3:"), std::string::npos);
+}
+
+TEST(CsvTest, MissingFileFails) {
+  std::vector<Tuple> tuples;
+  std::string error;
+  csv::LoadOptions opts;
+  EXPECT_FALSE(csv::LoadTuples("/nonexistent/nope.csv",
+                               {csv::ColumnType::kInt}, opts, &tuples,
+                               &error));
+}
+
+TEST(CsvTest, SaveAndReloadRoundTrip) {
+  Relation<I64Ring> rel(Schema{0, 1});
+  rel.Add(Tuple::Ints({1, 2}), 3);
+  rel.Add(Tuple::Ints({4, 5}), 1);
+  TempFile sink("");
+  std::string error;
+  ASSERT_TRUE(csv::SaveRelation(sink.path(), rel, &error)) << error;
+
+  Relation<I64Ring> back;
+  csv::LoadOptions opts;
+  ASSERT_TRUE(csv::LoadRelation(
+      sink.path(), Schema{0, 1, 2},
+      {csv::ColumnType::kInt, csv::ColumnType::kInt, csv::ColumnType::kInt},
+      opts, &back, &error))
+      << error;
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_EQ(*back.Find(Tuple::Ints({1, 2, 3})), 1);
+}
+
+TEST(CsvTest, FormatTupleDecodesStrings) {
+  util::StringDictionary dict;
+  int64_t code = dict.Intern("west");
+  Tuple t{Value::Int(code)};
+  EXPECT_EQ(csv::FormatTuple(t, &dict), "west");
+  EXPECT_EQ(csv::FormatTuple(Tuple::Ints({5, 6})), "5,6");
+}
+
+// --- Product ring: maintain AVG = SUM / COUNT in one pass ----------------
+
+TEST(ProductRingTest, RingOperationsAreComponentwise) {
+  CountSumRing::Element a{2, 10.0};
+  CountSumRing::Element b{3, 4.0};
+  auto sum = CountSumRing::Add(a, b);
+  EXPECT_EQ(sum.first, 5);
+  EXPECT_DOUBLE_EQ(sum.second, 14.0);
+  auto prod = CountSumRing::Mul(a, b);
+  EXPECT_EQ(prod.first, 6);
+  EXPECT_DOUBLE_EQ(prod.second, 40.0);
+  EXPECT_TRUE(CountSumRing::IsZero(
+      CountSumRing::Add(a, CountSumRing::Neg(a))));
+}
+
+TEST(ProductRingTest, MaintainsAvgOverJoin) {
+  Catalog catalog;
+  Query query(&catalog);
+  VarId K = catalog.Intern("K"), X = catalog.Intern("X");
+  int r = query.AddRelation("R", Schema{K, X});
+  query.AddRelation("S", Schema{K});
+
+  VariableOrder vo = VariableOrder::Auto(query);
+  ViewTree tree(&query, &vo);
+  tree.MaterializeAll();
+
+  // Lift X to (1, x): first component counts, second sums.
+  LiftingMap<CountSumRing> lifts;
+  lifts.Set(X, [](const Value& x) {
+    return CountSumRing::Element{1, x.AsDouble()};
+  });
+  IvmEngine<CountSumRing> engine(&tree, lifts);
+  Database<CountSumRing> db = MakeDatabase<CountSumRing>(query);
+  engine.Initialize(db);
+
+  auto insert = [&](int rel, Tuple t) {
+    Relation<CountSumRing> delta(query.relation(rel).schema);
+    delta.Add(std::move(t), CountSumRing::One());
+    engine.ApplyDelta(rel, delta);
+  };
+  insert(1, Tuple::Ints({7}));
+  insert(r, Tuple::Ints({7, 10}));
+  insert(r, Tuple::Ints({7, 20}));
+  insert(r, Tuple::Ints({7, 60}));
+
+  const CountSumRing::Element* agg = engine.result().Find(Tuple());
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->first, 3);
+  EXPECT_DOUBLE_EQ(agg->second, 90.0);
+  EXPECT_DOUBLE_EQ(agg->second / agg->first, 30.0);  // AVG
+}
+
+// --- Explain facilities ---------------------------------------------------
+
+TEST(ExplainTest, ExplainViewsShowsDefinitions) {
+  Catalog catalog;
+  Query query(&catalog);
+  VarId A = catalog.Intern("A"), B = catalog.Intern("B"),
+        C = catalog.Intern("C"), D = catalog.Intern("D"),
+        E = catalog.Intern("E");
+  query.AddRelation("R", Schema{A, B});
+  query.AddRelation("S", Schema{A, C, E});
+  query.AddRelation("T", Schema{C, D});
+  VariableOrder vo;
+  int a = vo.AddNode(A, -1);
+  vo.AddNode(B, a);
+  int c = vo.AddNode(C, a);
+  vo.AddNode(D, c);
+  vo.AddNode(E, c);
+  std::string error;
+  ASSERT_TRUE(vo.Finalize(query, &error));
+  ViewTree tree(&query, &vo);
+
+  std::string views = tree.ExplainViews();
+  EXPECT_NE(views.find("⊕D"), std::string::npos);
+  EXPECT_NE(views.find("T[C,D]"), std::string::npos);
+  EXPECT_NE(views.find("⊗"), std::string::npos);
+
+  // Delta rules for updates to T (Example 4.1): bottom rule marginalizes D
+  // over δT, then joins with the S-side view.
+  std::string delta = tree.ExplainDelta(2);
+  EXPECT_NE(delta.find("δT[C,D]"), std::string::npos);
+  EXPECT_NE(delta.find("⊕D"), std::string::npos);
+  size_t first_rule = delta.find("⊕D");
+  size_t join_rule = delta.find("⊗");
+  EXPECT_NE(join_rule, std::string::npos);
+  EXPECT_LT(first_rule, join_rule);  // leaf rule precedes join rules
+}
+
+}  // namespace
+}  // namespace fivm

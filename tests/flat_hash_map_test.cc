@@ -1,0 +1,155 @@
+#include "src/util/flat_hash_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+
+namespace fivm::util {
+namespace {
+
+struct IntHash {
+  uint64_t operator()(int64_t x) const {
+    return Mix64(static_cast<uint64_t>(x));
+  }
+};
+
+// A deliberately terrible hash to stress clustering and backshift deletion.
+struct CollidingHash {
+  uint64_t operator()(int64_t x) const { return static_cast<uint64_t>(x) % 3; }
+};
+
+using Map = FlatHashMap<int64_t, int64_t, IntHash>;
+
+TEST(FlatHashMapTest, InsertAndFind) {
+  Map m;
+  EXPECT_TRUE(m.Insert(1, 10));
+  EXPECT_TRUE(m.Insert(2, 20));
+  EXPECT_FALSE(m.Insert(1, 99));  // duplicate
+  ASSERT_NE(m.Find(1), nullptr);
+  EXPECT_EQ(*m.Find(1), 10);
+  EXPECT_EQ(*m.Find(2), 20);
+  EXPECT_EQ(m.Find(3), nullptr);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatHashMapTest, SubscriptDefaultConstructs) {
+  Map m;
+  EXPECT_EQ(m[7], 0);
+  m[7] += 5;
+  EXPECT_EQ(*m.Find(7), 5);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMapTest, EraseBasic) {
+  Map m;
+  m.Insert(1, 10);
+  m.Insert(2, 20);
+  EXPECT_TRUE(m.Erase(1));
+  EXPECT_FALSE(m.Erase(1));
+  EXPECT_EQ(m.Find(1), nullptr);
+  EXPECT_EQ(*m.Find(2), 20);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMapTest, GrowsThroughRehash) {
+  Map m;
+  for (int64_t i = 0; i < 10000; ++i) m.Insert(i, i * 2);
+  EXPECT_EQ(m.size(), 10000u);
+  for (int64_t i = 0; i < 10000; ++i) {
+    ASSERT_NE(m.Find(i), nullptr) << i;
+    EXPECT_EQ(*m.Find(i), i * 2);
+  }
+}
+
+TEST(FlatHashMapTest, BackshiftPreservesCluster) {
+  // With a 3-valued hash every key collides; erase from the middle of the
+  // cluster and verify all others remain findable.
+  FlatHashMap<int64_t, int64_t, CollidingHash> m;
+  for (int64_t i = 0; i < 50; ++i) m.Insert(i, i);
+  for (int64_t victim = 0; victim < 50; victim += 7) m.Erase(victim);
+  for (int64_t i = 0; i < 50; ++i) {
+    if (i % 7 == 0) {
+      EXPECT_EQ(m.Find(i), nullptr) << i;
+    } else {
+      ASSERT_NE(m.Find(i), nullptr) << i;
+      EXPECT_EQ(*m.Find(i), i);
+    }
+  }
+}
+
+TEST(FlatHashMapTest, ForEachVisitsAll) {
+  Map m;
+  for (int64_t i = 0; i < 100; ++i) m.Insert(i, 1);
+  int64_t count = 0, key_sum = 0;
+  m.ForEach([&](const int64_t& k, const int64_t& v) {
+    count += v;
+    key_sum += k;
+  });
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(key_sum, 99 * 100 / 2);
+}
+
+TEST(FlatHashMapTest, ClearResets) {
+  Map m;
+  m.Insert(1, 1);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(1), nullptr);
+  m.Insert(1, 2);
+  EXPECT_EQ(*m.Find(1), 2);
+}
+
+TEST(FlatHashMapTest, StringKeys) {
+  struct SHash {
+    uint64_t operator()(const std::string& s) const { return HashString(s); }
+  };
+  FlatHashMap<std::string, int, SHash> m;
+  m.Insert("alpha", 1);
+  m.Insert("beta", 2);
+  EXPECT_EQ(*m.Find("alpha"), 1);
+  EXPECT_EQ(m.Find("gamma"), nullptr);
+}
+
+TEST(FlatHashMapTest, RandomizedAgainstStdMap) {
+  Rng rng(123);
+  Map m;
+  std::unordered_map<int64_t, int64_t> ref;
+  for (int step = 0; step < 20000; ++step) {
+    int64_t key = rng.UniformInt(0, 500);
+    int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0) {
+      m[key] += 1;
+      ref[key] += 1;
+    } else if (op == 1) {
+      bool a = m.Erase(key);
+      bool b = ref.erase(key) > 0;
+      ASSERT_EQ(a, b) << "erase mismatch at step " << step;
+    } else {
+      const int64_t* found = m.Find(key);
+      auto it = ref.find(key);
+      if (it == ref.end()) {
+        ASSERT_EQ(found, nullptr) << "find mismatch at step " << step;
+      } else {
+        ASSERT_NE(found, nullptr) << "find mismatch at step " << step;
+        ASSERT_EQ(*found, it->second);
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+}
+
+TEST(FlatHashMapTest, ReserveAvoidsGrowth) {
+  Map m;
+  m.Reserve(1000);
+  size_t bytes = m.ApproxBytes();
+  for (int64_t i = 0; i < 1000; ++i) m.Insert(i, i);
+  EXPECT_EQ(m.ApproxBytes(), bytes);
+}
+
+}  // namespace
+}  // namespace fivm::util

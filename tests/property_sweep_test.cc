@@ -1,0 +1,322 @@
+// Wide randomized property sweeps across the engine surface:
+//  - results are invariant under the choice of (valid) variable order;
+//  - factorized-delta propagation equals listing propagation on arbitrary
+//    product-shaped updates for arbitrary query shapes;
+//  - restricted materialization plans (partial updatable sets) agree with
+//    fully-materialized engines on their restricted streams;
+//  - degenerate updates (empty deltas, full cancellation, repeated keys)
+//    are no-ops or exact inversions.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/ivm_engine.h"
+#include "src/core/query.h"
+#include "src/core/variable_order.h"
+#include "src/core/view_tree.h"
+#include "src/data/relation_ops.h"
+#include "src/rings/ring.h"
+#include "src/util/rng.h"
+
+namespace fivm {
+namespace {
+
+struct QueryKit {
+  Catalog catalog;
+  std::unique_ptr<Query> query;
+
+  explicit QueryKit(int shape) {
+    query = std::make_unique<Query>(&catalog);
+    if (shape == 0) {
+      VarId A = catalog.Intern("A"), B = catalog.Intern("B"),
+            C = catalog.Intern("C"), D = catalog.Intern("D"),
+            E = catalog.Intern("E");
+      query->AddRelation("R", Schema{A, B});
+      query->AddRelation("S", Schema{A, C, E});
+      query->AddRelation("T", Schema{C, D});
+    } else if (shape == 1) {
+      VarId A = catalog.Intern("A"), B = catalog.Intern("B"),
+            C = catalog.Intern("C"), D = catalog.Intern("D"),
+            E = catalog.Intern("E");
+      query->AddRelation("R1", Schema{A, B});
+      query->AddRelation("R2", Schema{B, C});
+      query->AddRelation("R3", Schema{C, D});
+      query->AddRelation("R4", Schema{D, E});
+    } else if (shape == 2) {
+      VarId K = catalog.Intern("K");
+      for (int i = 0; i < 3; ++i) {
+        query->AddRelation("R" + std::to_string(i),
+                           Schema{K, catalog.Intern("X" + std::to_string(i)),
+                                  catalog.Intern("Y" + std::to_string(i))});
+      }
+    } else {
+      // Two instances of the same logical relation (emulated self-join
+      // R(A,B) ⋈ R'(B,C) where R' is a copy maintained separately).
+      VarId A = catalog.Intern("A"), B = catalog.Intern("B"),
+            C = catalog.Intern("C");
+      query->AddRelation("Ra", Schema{A, B});
+      query->AddRelation("Rb", Schema{B, C});
+    }
+  }
+};
+
+Relation<I64Ring> RandomDelta(const Schema& schema, util::Rng& rng,
+                              int max_tuples = 3, int64_t domain = 2) {
+  Relation<I64Ring> delta(schema);
+  int n = 1 + static_cast<int>(rng.Uniform(max_tuples));
+  for (int i = 0; i < n; ++i) {
+    Tuple t;
+    for (size_t k = 0; k < schema.size(); ++k) {
+      t.Append(Value::Int(rng.UniformInt(0, domain)));
+    }
+    delta.Add(t, rng.Bernoulli(0.3) ? -1 : 1);
+  }
+  return delta;
+}
+
+int64_t ScalarResult(const Relation<I64Ring>& rel) {
+  const int64_t* p = rel.Find(Tuple());
+  return p ? *p : 0;
+}
+
+class VariableOrderInvarianceTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(VariableOrderInvarianceTest, AllOrdersGiveSameResult) {
+  auto [shape, seed] = GetParam();
+  QueryKit kit(shape);
+  Query& query = *kit.query;
+  util::Rng rng(7000 + seed);
+
+  LiftingMap<I64Ring> lifts;
+  VarId lifted = query.relation(0).schema[1];
+  lifts.Set(lifted, [](const Value& x) { return x.AsInt(); });
+
+  // Four engines over four different (random) variable orders.
+  std::vector<VariableOrder> orders;
+  orders.push_back(VariableOrder::Auto(query));
+  for (uint64_t s = 0; s < 3; ++s) {
+    orders.push_back(VariableOrder::AutoRandom(query, 100 * seed + s));
+  }
+  std::vector<std::unique_ptr<ViewTree>> trees;
+  std::vector<std::unique_ptr<IvmEngine<I64Ring>>> engines;
+  Database<I64Ring> db = MakeDatabase<I64Ring>(query);
+  for (auto& vo : orders) {
+    trees.push_back(std::make_unique<ViewTree>(&query, &vo));
+    trees.back()->MaterializeAll();
+    engines.push_back(
+        std::make_unique<IvmEngine<I64Ring>>(trees.back().get(), lifts));
+    engines.back()->Initialize(db);
+  }
+
+  for (int step = 0; step < 25; ++step) {
+    int rel = static_cast<int>(rng.Uniform(query.relation_count()));
+    auto delta = RandomDelta(query.relation(rel).schema, rng);
+    for (auto& e : engines) e->ApplyDelta(rel, delta);
+    int64_t expected = ScalarResult(engines[0]->result());
+    for (size_t i = 1; i < engines.size(); ++i) {
+      ASSERT_EQ(ScalarResult(engines[i]->result()), expected)
+          << "order " << i << " diverged at step " << step;
+    }
+  }
+}
+
+std::vector<std::pair<int, int>> VoCases() {
+  std::vector<std::pair<int, int>> cases;
+  for (int shape = 0; shape < 4; ++shape) {
+    for (int seed = 0; seed < 3; ++seed) cases.emplace_back(shape, seed);
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VariableOrderInvarianceTest, ::testing::ValuesIn(VoCases()),
+    [](const ::testing::TestParamInfo<std::pair<int, int>>& info) {
+      return "shape" + std::to_string(info.param.first) + "seed" +
+             std::to_string(info.param.second);
+    });
+
+class FactorizedDeltaPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactorizedDeltaPropertyTest, ProductDeltasMatchExpanded) {
+  int seed = GetParam();
+  QueryKit kit(seed % 3);
+  Query& query = *kit.query;
+  util::Rng rng(8100 + seed);
+
+  VariableOrder vo = VariableOrder::Auto(query);
+  ViewTree tree(&query, &vo);
+  tree.MaterializeAll();
+  LiftingMap<I64Ring> lifts;
+
+  IvmEngine<I64Ring> listing(&tree, lifts);
+  IvmEngine<I64Ring> factorized(&tree, lifts);
+  Database<I64Ring> db = MakeDatabase<I64Ring>(query);
+  // Seed a small random database so deltas join with existing state.
+  for (int r = 0; r < query.relation_count(); ++r) {
+    db[r].UnionWith(RandomDelta(query.relation(r).schema, rng, 6));
+  }
+  listing.Initialize(db);
+  factorized.Initialize(db);
+
+  for (int step = 0; step < 12; ++step) {
+    int rel = static_cast<int>(rng.Uniform(query.relation_count()));
+    const Schema& sch = query.relation(rel).schema;
+
+    // Random unary factors: one per variable (a full product decomposition
+    // of a grid-shaped delta).
+    std::vector<Relation<I64Ring>> factors;
+    for (VarId v : sch) {
+      Relation<I64Ring> f(Schema{v});
+      int vals = 1 + static_cast<int>(rng.Uniform(2));
+      for (int i = 0; i < vals; ++i) {
+        f.Add(Tuple::Ints({rng.UniformInt(0, 2)}),
+              rng.Bernoulli(0.25) ? -1 : 1);
+      }
+      if (f.empty()) f.Add(Tuple::Ints({0}), 1);
+      factors.push_back(std::move(f));
+    }
+    // Expanded form for the listing engine.
+    Relation<I64Ring> expanded = factors[0];
+    for (size_t i = 1; i < factors.size(); ++i) {
+      expanded = Join(expanded, factors[i]);
+    }
+    Relation<I64Ring> reordered(sch);
+    AbsorbInto(reordered, expanded);
+
+    listing.ApplyDelta(rel, reordered);
+    factorized.ApplyFactorizedDelta(rel, std::move(factors));
+
+    ASSERT_EQ(ScalarResult(listing.result()),
+              ScalarResult(factorized.result()))
+        << "step " << step;
+    // Stores on the path agree too.
+    for (int node : tree.PathToRoot(rel)) {
+      const auto& a = listing.store(node);
+      const auto& b = factorized.store(node);
+      ASSERT_EQ(a.size(), b.size()) << tree.node(node).name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FactorizedDeltaPropertyTest,
+                         ::testing::Range(0, 9));
+
+TEST(EngineEdgeCasesTest, EmptyDeltaIsNoOp) {
+  QueryKit kit(0);
+  Query& query = *kit.query;
+  VariableOrder vo = VariableOrder::Auto(query);
+  ViewTree tree(&query, &vo);
+  tree.MaterializeAll();
+  IvmEngine<I64Ring> engine(&tree, LiftingMap<I64Ring>{});
+  Database<I64Ring> db = MakeDatabase<I64Ring>(query);
+  util::Rng rng(1);
+  for (int r = 0; r < 3; ++r) {
+    db[r].UnionWith(RandomDelta(query.relation(r).schema, rng, 5));
+  }
+  engine.Initialize(db);
+  int64_t before = ScalarResult(engine.result());
+
+  Relation<I64Ring> empty(query.relation(0).schema);
+  engine.ApplyDelta(0, empty);
+  EXPECT_EQ(ScalarResult(engine.result()), before);
+}
+
+TEST(EngineEdgeCasesTest, ExactInversionRestoresAllStores) {
+  QueryKit kit(1);
+  Query& query = *kit.query;
+  VariableOrder vo = VariableOrder::Auto(query);
+  ViewTree tree(&query, &vo);
+  tree.MaterializeAll();
+  IvmEngine<I64Ring> engine(&tree, LiftingMap<I64Ring>{});
+  Database<I64Ring> db = MakeDatabase<I64Ring>(query);
+  util::Rng rng(2);
+  for (int r = 0; r < query.relation_count(); ++r) {
+    db[r].UnionWith(RandomDelta(query.relation(r).schema, rng, 5));
+  }
+  engine.Initialize(db);
+
+  // Snapshot sizes of all stores.
+  std::vector<size_t> before;
+  for (size_t i = 0; i < tree.nodes().size(); ++i) {
+    before.push_back(engine.store(static_cast<int>(i)).size());
+  }
+
+  auto delta = RandomDelta(query.relation(1).schema, rng, 4);
+  engine.ApplyDelta(1, delta);
+  // Invert.
+  Relation<I64Ring> inverse(delta.schema());
+  delta.ForEach([&](const Tuple& k, const int64_t& p) {
+    inverse.Add(k, -p);
+  });
+  engine.ApplyDelta(1, inverse);
+
+  for (size_t i = 0; i < tree.nodes().size(); ++i) {
+    EXPECT_EQ(engine.store(static_cast<int>(i)).size(), before[i])
+        << tree.node(static_cast<int>(i)).name;
+  }
+}
+
+TEST(EngineEdgeCasesTest, RestrictedPlanMatchesFullPlanOnRestrictedStream) {
+  QueryKit kit(2);
+  Query& query = *kit.query;
+  VariableOrder vo = VariableOrder::Auto(query);
+
+  ViewTree full_tree(&query, &vo);
+  full_tree.MaterializeAll();
+  ViewTree sparse_tree(&query, &vo);
+  sparse_tree.ComputeMaterialization({0});  // only R0 updatable
+  EXPECT_LT(sparse_tree.MaterializedCount(),
+            full_tree.MaterializedCount());
+
+  LiftingMap<I64Ring> lifts;
+  IvmEngine<I64Ring> full(&full_tree, lifts);
+  IvmEngine<I64Ring> sparse(&sparse_tree, lifts);
+
+  // Static contents for the non-updatable relations.
+  Database<I64Ring> db = MakeDatabase<I64Ring>(query);
+  util::Rng rng(3);
+  for (int r = 1; r < query.relation_count(); ++r) {
+    db[r].UnionWith(RandomDelta(query.relation(r).schema, rng, 8));
+  }
+  full.Initialize(db);
+  sparse.Initialize(db);
+
+  for (int step = 0; step < 20; ++step) {
+    auto delta = RandomDelta(query.relation(0).schema, rng, 3);
+    full.ApplyDelta(0, delta);
+    sparse.ApplyDelta(0, delta);
+    ASSERT_EQ(ScalarResult(full.result()), ScalarResult(sparse.result()))
+        << "step " << step;
+  }
+}
+
+TEST(EngineEdgeCasesTest, RepeatedKeysInOneDeltaAggregate) {
+  QueryKit kit(0);
+  Query& query = *kit.query;
+  VariableOrder vo = VariableOrder::Auto(query);
+  ViewTree tree(&query, &vo);
+  tree.MaterializeAll();
+  IvmEngine<I64Ring> engine(&tree, LiftingMap<I64Ring>{});
+  Database<I64Ring> db = MakeDatabase<I64Ring>(query);
+  engine.Initialize(db);
+
+  // Same key added three times in one delta = multiplicity 3.
+  Relation<I64Ring> delta(query.relation(0).schema);
+  for (int i = 0; i < 3; ++i) delta.Add(Tuple::Ints({1, 1}), 1);
+  engine.ApplyDelta(0, delta);
+
+  Relation<I64Ring> ds(query.relation(1).schema);
+  ds.Add(Tuple::Ints({1, 1, 1}), 1);
+  engine.ApplyDelta(1, ds);
+  Relation<I64Ring> dt(query.relation(2).schema);
+  dt.Add(Tuple::Ints({1, 1}), 1);
+  engine.ApplyDelta(2, dt);
+
+  EXPECT_EQ(ScalarResult(engine.result()), 3);
+}
+
+}  // namespace
+}  // namespace fivm

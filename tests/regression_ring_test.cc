@@ -1,0 +1,178 @@
+#include "src/rings/regression_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/rings/sparse_regression_ring.h"
+#include "src/util/rng.h"
+
+namespace fivm {
+namespace {
+
+TEST(RegressionRingTest, LiftShape) {
+  auto p = RegressionPayload::Lift(2, 3.0);
+  EXPECT_DOUBLE_EQ(p.count(), 1.0);
+  EXPECT_DOUBLE_EQ(p.Sum(2), 3.0);
+  EXPECT_DOUBLE_EQ(p.Cofactor(2, 2), 9.0);
+  EXPECT_DOUBLE_EQ(p.Sum(1), 0.0);
+  EXPECT_DOUBLE_EQ(p.Cofactor(1, 2), 0.0);
+}
+
+TEST(RegressionRingTest, ProductOfTwoLiftsGivesCrossTerm) {
+  // One tuple with D=d, E=e: SUM(D*E) = d*e.
+  auto p = Mul(RegressionPayload::Lift(0, 2.0), RegressionPayload::Lift(1, 5.0));
+  EXPECT_DOUBLE_EQ(p.count(), 1.0);
+  EXPECT_DOUBLE_EQ(p.Sum(0), 2.0);
+  EXPECT_DOUBLE_EQ(p.Sum(1), 5.0);
+  EXPECT_DOUBLE_EQ(p.Cofactor(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(p.Cofactor(1, 1), 25.0);
+  EXPECT_DOUBLE_EQ(p.Cofactor(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(p.Cofactor(1, 0), 10.0);  // symmetric accessor
+}
+
+TEST(RegressionRingTest, PaperExample63) {
+  // V@D_T[c2] = (2, s=d2+d3, Q=d2^2+d3^2) at slot 3 (variable D).
+  double d2 = 2.0, d3 = 3.0, e4 = 7.0, c2 = 5.0;
+  auto vt = Add(RegressionPayload::Lift(3, d2), RegressionPayload::Lift(3, d3));
+  EXPECT_DOUBLE_EQ(vt.count(), 2.0);
+  EXPECT_DOUBLE_EQ(vt.Sum(3), d2 + d3);
+  EXPECT_DOUBLE_EQ(vt.Cofactor(3, 3), d2 * d2 + d3 * d3);
+
+  // V@E_S[a2,c2] = (1, s=e4, Q=e4^2) at slot 4 (variable E).
+  auto vs = RegressionPayload::Lift(4, e4);
+  // g_C(c2) at slot 2 (variable C).
+  auto gc = RegressionPayload::Lift(2, c2);
+
+  // V@C_ST[a2] = vt * vs * gc — the paper's worked example.
+  auto v = Mul(Mul(vt, vs), gc);
+  EXPECT_DOUBLE_EQ(v.count(), 2.0);
+  EXPECT_DOUBLE_EQ(v.Sum(2), 2 * c2);
+  EXPECT_DOUBLE_EQ(v.Sum(3), d2 + d3);
+  EXPECT_DOUBLE_EQ(v.Sum(4), 2 * e4);
+  EXPECT_DOUBLE_EQ(v.Cofactor(2, 2), 2 * c2 * c2);
+  EXPECT_DOUBLE_EQ(v.Cofactor(2, 3), c2 * (d2 + d3));
+  EXPECT_DOUBLE_EQ(v.Cofactor(2, 4), 2 * c2 * e4);
+  EXPECT_DOUBLE_EQ(v.Cofactor(3, 3), d2 * d2 + d3 * d3);
+  EXPECT_DOUBLE_EQ(v.Cofactor(3, 4), (d2 + d3) * e4);
+  EXPECT_DOUBLE_EQ(v.Cofactor(4, 4), 2 * e4 * e4);
+}
+
+// Reference check: the payload of a design matrix equals the directly
+// computed sufficient statistics (c = row count, s_i = sum of column i,
+// Q_ij = sum of products).
+TEST(RegressionRingTest, MatchesDirectSufficientStatistics) {
+  util::Rng rng(77);
+  constexpr int kVars = 4;
+  constexpr int kRows = 50;
+  std::vector<std::vector<double>> rows(kRows, std::vector<double>(kVars));
+  for (auto& row : rows) {
+    for (double& x : row) x = static_cast<double>(rng.UniformInt(-5, 5));
+  }
+
+  RegressionPayload total;  // zero
+  for (const auto& row : rows) {
+    RegressionPayload tuple_payload = RegressionPayload::Count(1.0);
+    for (int j = 0; j < kVars; ++j) {
+      tuple_payload =
+          Mul(tuple_payload, RegressionPayload::Lift(j, row[j]));
+    }
+    total.AddInPlace(tuple_payload);
+  }
+
+  EXPECT_DOUBLE_EQ(total.count(), kRows);
+  for (int i = 0; i < kVars; ++i) {
+    double s = 0;
+    for (const auto& row : rows) s += row[i];
+    EXPECT_DOUBLE_EQ(total.Sum(i), s) << "slot " << i;
+    for (int j = i; j < kVars; ++j) {
+      double q = 0;
+      for (const auto& row : rows) q += row[i] * row[j];
+      EXPECT_DOUBLE_EQ(total.Cofactor(i, j), q) << i << "," << j;
+    }
+  }
+}
+
+TEST(RegressionRingTest, AddMergesDisjointRanges) {
+  auto a = RegressionPayload::Lift(0, 1.0);
+  auto b = RegressionPayload::Lift(5, 2.0);
+  auto s = Add(a, b);
+  EXPECT_EQ(s.lo(), 0u);
+  EXPECT_EQ(s.hi(), 6u);
+  EXPECT_DOUBLE_EQ(s.Sum(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Sum(5), 2.0);
+  EXPECT_DOUBLE_EQ(s.Sum(3), 0.0);
+  EXPECT_DOUBLE_EQ(s.Cofactor(0, 5), 0.0);
+}
+
+TEST(RegressionRingTest, CountOnlyPayloadScales) {
+  auto two = RegressionPayload::Count(2.0);
+  auto lift = RegressionPayload::Lift(1, 3.0);
+  auto p = Mul(two, lift);
+  EXPECT_DOUBLE_EQ(p.count(), 2.0);
+  EXPECT_DOUBLE_EQ(p.Sum(1), 6.0);
+  EXPECT_DOUBLE_EQ(p.Cofactor(1, 1), 18.0);
+}
+
+TEST(RegressionRingTest, NegationCancels) {
+  auto p = Mul(RegressionPayload::Lift(0, 2.0), RegressionPayload::Lift(1, 3.0));
+  auto zero = Add(p, -p);
+  EXPECT_TRUE(zero.IsZero());
+}
+
+TEST(RegressionRingTest, AddInPlaceFastPathContainedRange) {
+  auto wide = Add(RegressionPayload::Lift(0, 1.0), RegressionPayload::Lift(4, 1.0));
+  auto narrow = RegressionPayload::Lift(2, 5.0);
+  auto expected = Add(wide, narrow);
+  wide.AddInPlace(narrow);
+  EXPECT_TRUE(wide == expected);
+}
+
+TEST(RegressionRingTest, DenseAndSparseEncodingsAgree) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Build the same random expression in both encodings.
+    auto dense_a = RegressionPayload::Count(1.0);
+    auto sparse_a = SparseRegressionPayload::Count(1.0);
+    for (int i = 0; i < 3; ++i) {
+      uint32_t slot = static_cast<uint32_t>(rng.Uniform(4));
+      double x = static_cast<double>(rng.UniformInt(-4, 4));
+      dense_a = Mul(dense_a, RegressionPayload::Lift(2 * i, x));
+      sparse_a = Mul(sparse_a, SparseRegressionPayload::Lift(2 * i, x));
+      dense_a = Add(dense_a, RegressionPayload::Lift(slot, x));
+      sparse_a = Add(sparse_a, SparseRegressionPayload::Lift(slot, x));
+    }
+    EXPECT_DOUBLE_EQ(dense_a.count(), sparse_a.count());
+    for (uint32_t i = 0; i < 8; ++i) {
+      EXPECT_DOUBLE_EQ(dense_a.Sum(i), sparse_a.Sum(i)) << "slot " << i;
+      for (uint32_t j = i; j < 8; ++j) {
+        EXPECT_DOUBLE_EQ(dense_a.Cofactor(i, j), sparse_a.Cofactor(i, j))
+            << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(SparseRegressionRingTest, LiftAndAccessors) {
+  auto p = SparseRegressionPayload::Lift(3, 4.0);
+  EXPECT_DOUBLE_EQ(p.count(), 1.0);
+  EXPECT_DOUBLE_EQ(p.Sum(3), 4.0);
+  EXPECT_DOUBLE_EQ(p.Cofactor(3, 3), 16.0);
+  EXPECT_EQ(p.LinearEntryCount(), 1u);
+  EXPECT_EQ(p.QuadraticEntryCount(), 1u);
+}
+
+TEST(SparseRegressionRingTest, CrossTermDiagonalDoubled) {
+  // M = sa sb^T + sb sa^T with sa = sb = e_0 x: M(0,0) = 2x^2 (on top of the
+  // scaled Q terms).
+  auto a = SparseRegressionPayload::Lift(0, 3.0);
+  auto p = Mul(a, a);
+  // c=1, Q = 1*9 + 1*9 (scaled Qa, Qb) + 2*3*3 (cross) = 36.
+  EXPECT_DOUBLE_EQ(p.Cofactor(0, 0), 36.0);
+  // Dense encoding agrees.
+  auto d = RegressionPayload::Lift(0, 3.0);
+  EXPECT_DOUBLE_EQ(Mul(d, d).Cofactor(0, 0), 36.0);
+}
+
+}  // namespace
+}  // namespace fivm

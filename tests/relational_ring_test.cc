@@ -1,0 +1,123 @@
+#include "src/rings/relational_ring.h"
+
+#include <gtest/gtest.h>
+
+namespace fivm {
+namespace {
+
+constexpr VarId kA = 0, kB = 1;
+
+TEST(RelationalRingTest, IdentityMapsEmptyTupleToOne) {
+  auto one = PayloadRelation::Identity();
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.Multiplicity(Tuple()), 1);
+  EXPECT_FALSE(one.IsZero());
+}
+
+TEST(RelationalRingTest, ZeroIsEmpty) {
+  PayloadRelation zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.size(), 0u);
+}
+
+TEST(RelationalRingTest, SingletonLifting) {
+  auto p = PayloadRelation::Singleton(kA, Value::Int(7));
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.Multiplicity(Tuple::Ints({7})), 1);
+  EXPECT_EQ(p.schema(), Schema{kA});
+}
+
+TEST(RelationalRingTest, UnionSumsMultiplicities) {
+  auto a = PayloadRelation::Singleton(kA, Value::Int(1));
+  auto b = PayloadRelation::Singleton(kA, Value::Int(1));
+  auto c = PayloadRelation::Singleton(kA, Value::Int(2));
+  auto u = Add(Add(a, b), c);
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_EQ(u.Multiplicity(Tuple::Ints({1})), 2);
+  EXPECT_EQ(u.Multiplicity(Tuple::Ints({2})), 1);
+}
+
+TEST(RelationalRingTest, UnionPrunesCancelledRows) {
+  auto a = PayloadRelation::Singleton(kA, Value::Int(1));
+  auto na = -a;
+  auto u = Add(a, na);
+  EXPECT_TRUE(u.IsZero());
+}
+
+TEST(RelationalRingTest, MulWithIdentityKeepsRelation) {
+  auto a = PayloadRelation::Singleton(kA, Value::Int(1));
+  EXPECT_TRUE(Mul(a, PayloadRelation::Identity()) == a);
+  EXPECT_TRUE(Mul(PayloadRelation::Identity(), a) == a);
+}
+
+TEST(RelationalRingTest, MulDisjointSchemasIsCartesian) {
+  auto a = Add(PayloadRelation::Singleton(kA, Value::Int(1)),
+               PayloadRelation::Singleton(kA, Value::Int(2)));
+  auto b = Add(PayloadRelation::Singleton(kB, Value::Int(10)),
+               PayloadRelation::Singleton(kB, Value::Int(20)));
+  auto p = Mul(a, b);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.Multiplicity(Tuple::Ints({1, 10})), 1);
+  EXPECT_EQ(p.Multiplicity(Tuple::Ints({2, 20})), 1);
+  EXPECT_EQ(p.schema().size(), 2u);
+}
+
+TEST(RelationalRingTest, MulMultiplicitiesMultiply) {
+  auto a = PayloadRelation::Singleton(kA, Value::Int(1));
+  auto a2 = Add(a, a);  // multiplicity 2
+  auto b = PayloadRelation::Singleton(kB, Value::Int(5));
+  auto b3 = Add(Add(b, b), b);  // multiplicity 3
+  auto p = Mul(a2, b3);
+  EXPECT_EQ(p.Multiplicity(Tuple::Ints({1, 5})), 6);
+}
+
+TEST(RelationalRingTest, MulOverlappingSchemasJoins) {
+  // a over [A,B], b over [B]: natural join on B.
+  auto a = Mul(PayloadRelation::Singleton(kA, Value::Int(1)),
+               PayloadRelation::Singleton(kB, Value::Int(5)));
+  auto a2 = Mul(PayloadRelation::Singleton(kA, Value::Int(2)),
+                PayloadRelation::Singleton(kB, Value::Int(6)));
+  auto both = Add(a, a2);
+  auto b = PayloadRelation::Singleton(kB, Value::Int(5));
+  auto j = Mul(both, b);
+  EXPECT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.Multiplicity(Tuple::Ints({1, 5})), 1);
+}
+
+TEST(RelationalRingTest, MulWithZeroIsZero) {
+  auto a = PayloadRelation::Singleton(kA, Value::Int(1));
+  EXPECT_TRUE(Mul(a, PayloadRelation()).IsZero());
+  EXPECT_TRUE(Mul(PayloadRelation(), a).IsZero());
+}
+
+TEST(RelationalRingTest, EqualityIsSchemaOrderInsensitive) {
+  auto ab = Mul(PayloadRelation::Singleton(kA, Value::Int(1)),
+                PayloadRelation::Singleton(kB, Value::Int(2)));
+  auto ba = Mul(PayloadRelation::Singleton(kB, Value::Int(2)),
+                PayloadRelation::Singleton(kA, Value::Int(1)));
+  EXPECT_TRUE(ab == ba);
+}
+
+TEST(RelationalRingTest, NegativePayloadsEncodeDeletes) {
+  auto ins = PayloadRelation::Singleton(kA, Value::Int(1));
+  auto del = -PayloadRelation::Singleton(kA, Value::Int(1));
+  EXPECT_EQ(del.Multiplicity(Tuple::Ints({1})), -1);
+  EXPECT_TRUE(Add(ins, del).IsZero());
+}
+
+TEST(RelationalRingTest, AddInPlaceSelf) {
+  auto a = PayloadRelation::Singleton(kA, Value::Int(3));
+  a.AddInPlace(a);
+  EXPECT_EQ(a.Multiplicity(Tuple::Ints({3})), 2);
+}
+
+TEST(RelationalRingTest, ForEachVisitsLiveRows) {
+  auto a = Add(PayloadRelation::Singleton(kA, Value::Int(1)),
+               PayloadRelation::Singleton(kA, Value::Int(2)));
+  int64_t total = 0;
+  a.ForEach([&](const Tuple&, int64_t m) { total += m; });
+  EXPECT_EQ(total, 2);
+}
+
+}  // namespace
+}  // namespace fivm

@@ -1,0 +1,213 @@
+// Property tests: every payload ring must satisfy the ring axioms
+// (Appendix A of the paper). Elements are generated with integer-valued
+// components so floating-point arithmetic stays exact and the checks can use
+// exact equality.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/rings/regression_ring.h"
+#include "src/rings/relational_ring.h"
+#include "src/rings/ring.h"
+#include "src/rings/sparse_regression_ring.h"
+#include "src/util/rng.h"
+
+namespace fivm {
+namespace {
+
+// Role-aware random element generator. The role (0, 1, 2) selects disjoint
+// variable/slot regions so that heterogeneous operations (e.g. relational
+// payload joins) are well-formed the way they are in view trees.
+template <typename Ring>
+struct Gen;
+
+template <>
+struct Gen<I64Ring> {
+  static int64_t Make(util::Rng& rng, int) { return rng.UniformInt(-8, 8); }
+};
+
+template <>
+struct Gen<F64Ring> {
+  static double Make(util::Rng& rng, int) {
+    return static_cast<double>(rng.UniformInt(-8, 8));
+  }
+};
+
+template <>
+struct Gen<RegressionRing> {
+  static RegressionPayload Make(util::Rng& rng, int role) {
+    uint32_t lo = static_cast<uint32_t>(role * 2);
+    RegressionPayload p = RegressionPayload::Count(
+        static_cast<double>(rng.UniformInt(-4, 4)));
+    // Sum of a few lifted values over the role's slot region produces
+    // payloads with a non-trivial (c, s, Q) structure.
+    int n = static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < n; ++i) {
+      uint32_t slot = lo + static_cast<uint32_t>(rng.Uniform(2));
+      double x = static_cast<double>(rng.UniformInt(-4, 4));
+      p = Add(p, RegressionPayload::Lift(slot, x));
+    }
+    return p;
+  }
+};
+
+template <>
+struct Gen<SparseRegressionRing> {
+  static SparseRegressionPayload Make(util::Rng& rng, int role) {
+    uint32_t lo = static_cast<uint32_t>(role * 2);
+    SparseRegressionPayload p = SparseRegressionPayload::Count(
+        static_cast<double>(rng.UniformInt(-4, 4)));
+    int n = static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < n; ++i) {
+      uint32_t slot = lo + static_cast<uint32_t>(rng.Uniform(2));
+      double x = static_cast<double>(rng.UniformInt(-4, 4));
+      p = Add(p, SparseRegressionPayload::Lift(slot, x));
+    }
+    return p;
+  }
+};
+
+template <>
+struct Gen<RelationalRing> {
+  static PayloadRelation Make(util::Rng& rng, int role) {
+    // Each role owns a distinct variable; payload relations in view trees
+    // multiply only across disjoint schemas.
+    VarId var = static_cast<VarId>(100 + role);
+    PayloadRelation p;  // zero
+    int n = static_cast<int>(rng.Uniform(4));
+    for (int i = 0; i < n; ++i) {
+      PayloadRelation single =
+          PayloadRelation::Singleton(var, Value::Int(rng.UniformInt(0, 3)));
+      if (rng.Bernoulli(0.3)) single = -single;
+      p = Add(p, single);
+    }
+    return p;
+  }
+};
+
+template <typename Ring>
+bool Eq(const typename Ring::Element& a, const typename Ring::Element& b) {
+  return a == b;
+}
+
+template <typename Ring>
+class RingAxiomsTest : public ::testing::Test {};
+
+using RingTypes = ::testing::Types<I64Ring, F64Ring, RegressionRing,
+                                   SparseRegressionRing, RelationalRing>;
+TYPED_TEST_SUITE(RingAxiomsTest, RingTypes);
+
+constexpr int kTrials = 60;
+
+TYPED_TEST(RingAxiomsTest, AdditionCommutes) {
+  util::Rng rng(1);
+  for (int t = 0; t < kTrials; ++t) {
+    auto a = Gen<TypeParam>::Make(rng, 0);
+    auto b = Gen<TypeParam>::Make(rng, 0);
+    EXPECT_TRUE(Eq<TypeParam>(TypeParam::Add(a, b), TypeParam::Add(b, a)));
+  }
+}
+
+TYPED_TEST(RingAxiomsTest, AdditionAssociates) {
+  util::Rng rng(2);
+  for (int t = 0; t < kTrials; ++t) {
+    auto a = Gen<TypeParam>::Make(rng, 0);
+    auto b = Gen<TypeParam>::Make(rng, 0);
+    auto c = Gen<TypeParam>::Make(rng, 0);
+    EXPECT_TRUE(Eq<TypeParam>(TypeParam::Add(TypeParam::Add(a, b), c),
+                              TypeParam::Add(a, TypeParam::Add(b, c))));
+  }
+}
+
+TYPED_TEST(RingAxiomsTest, ZeroIsAdditiveIdentity) {
+  util::Rng rng(3);
+  for (int t = 0; t < kTrials; ++t) {
+    auto a = Gen<TypeParam>::Make(rng, 0);
+    EXPECT_TRUE(Eq<TypeParam>(TypeParam::Add(a, TypeParam::Zero()), a));
+    EXPECT_TRUE(Eq<TypeParam>(TypeParam::Add(TypeParam::Zero(), a), a));
+  }
+}
+
+TYPED_TEST(RingAxiomsTest, AdditiveInverseCancels) {
+  util::Rng rng(4);
+  for (int t = 0; t < kTrials; ++t) {
+    auto a = Gen<TypeParam>::Make(rng, 0);
+    EXPECT_TRUE(TypeParam::IsZero(TypeParam::Add(a, TypeParam::Neg(a))));
+  }
+}
+
+TYPED_TEST(RingAxiomsTest, MultiplicationAssociates) {
+  util::Rng rng(5);
+  for (int t = 0; t < kTrials; ++t) {
+    auto a = Gen<TypeParam>::Make(rng, 0);
+    auto b = Gen<TypeParam>::Make(rng, 1);
+    auto c = Gen<TypeParam>::Make(rng, 2);
+    EXPECT_TRUE(Eq<TypeParam>(TypeParam::Mul(TypeParam::Mul(a, b), c),
+                              TypeParam::Mul(a, TypeParam::Mul(b, c))));
+  }
+}
+
+TYPED_TEST(RingAxiomsTest, OneIsMultiplicativeIdentity) {
+  util::Rng rng(6);
+  for (int t = 0; t < kTrials; ++t) {
+    auto a = Gen<TypeParam>::Make(rng, 0);
+    EXPECT_TRUE(Eq<TypeParam>(TypeParam::Mul(a, TypeParam::One()), a));
+    EXPECT_TRUE(Eq<TypeParam>(TypeParam::Mul(TypeParam::One(), a), a));
+  }
+}
+
+TYPED_TEST(RingAxiomsTest, LeftDistributivity) {
+  util::Rng rng(7);
+  for (int t = 0; t < kTrials; ++t) {
+    auto a = Gen<TypeParam>::Make(rng, 0);
+    auto b = Gen<TypeParam>::Make(rng, 1);
+    auto c = Gen<TypeParam>::Make(rng, 1);
+    EXPECT_TRUE(
+        Eq<TypeParam>(TypeParam::Mul(a, TypeParam::Add(b, c)),
+                      TypeParam::Add(TypeParam::Mul(a, b),
+                                     TypeParam::Mul(a, c))));
+  }
+}
+
+TYPED_TEST(RingAxiomsTest, RightDistributivity) {
+  util::Rng rng(8);
+  for (int t = 0; t < kTrials; ++t) {
+    auto a = Gen<TypeParam>::Make(rng, 0);
+    auto b = Gen<TypeParam>::Make(rng, 0);
+    auto c = Gen<TypeParam>::Make(rng, 1);
+    EXPECT_TRUE(
+        Eq<TypeParam>(TypeParam::Mul(TypeParam::Add(a, b), c),
+                      TypeParam::Add(TypeParam::Mul(a, c),
+                                     TypeParam::Mul(b, c))));
+  }
+}
+
+TYPED_TEST(RingAxiomsTest, MultiplicationByZeroAnnihilates) {
+  util::Rng rng(9);
+  for (int t = 0; t < kTrials; ++t) {
+    auto a = Gen<TypeParam>::Make(rng, 0);
+    EXPECT_TRUE(TypeParam::IsZero(TypeParam::Mul(a, TypeParam::Zero())));
+    EXPECT_TRUE(TypeParam::IsZero(TypeParam::Mul(TypeParam::Zero(), a)));
+  }
+}
+
+TYPED_TEST(RingAxiomsTest, AddInPlaceMatchesAdd) {
+  util::Rng rng(10);
+  for (int t = 0; t < kTrials; ++t) {
+    auto a = Gen<TypeParam>::Make(rng, 0);
+    auto b = Gen<TypeParam>::Make(rng, 0);
+    auto expected = TypeParam::Add(a, b);
+    auto actual = a;
+    TypeParam::AddInPlace(actual, b);
+    EXPECT_TRUE(Eq<TypeParam>(actual, expected));
+  }
+}
+
+TYPED_TEST(RingAxiomsTest, ZeroTestsAsZero) {
+  EXPECT_TRUE(TypeParam::IsZero(TypeParam::Zero()));
+  EXPECT_FALSE(TypeParam::IsZero(TypeParam::One()));
+}
+
+}  // namespace
+}  // namespace fivm

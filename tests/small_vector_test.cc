@@ -1,0 +1,161 @@
+#include "src/util/small_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fivm::util {
+namespace {
+
+TEST(SmallVectorTest, StartsEmpty) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVectorTest, PushWithinInlineCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, SpillsToHeap) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, InitializerList) {
+  SmallVector<int, 2> v{1, 2, 3, 4, 5};
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[4], 5);
+}
+
+TEST(SmallVectorTest, CopyConstruct) {
+  SmallVector<std::string, 2> v{"a", "b", "c"};
+  SmallVector<std::string, 2> w = v;
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[2], "c");
+  v[2] = "z";
+  EXPECT_EQ(w[2], "c");
+}
+
+TEST(SmallVectorTest, MoveConstructInline) {
+  SmallVector<std::unique_ptr<int>, 4> v;
+  v.push_back(std::make_unique<int>(42));
+  SmallVector<std::unique_ptr<int>, 4> w = std::move(v);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(*w[0], 42);
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(SmallVectorTest, MoveConstructHeap) {
+  SmallVector<std::unique_ptr<int>, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(std::make_unique<int>(i));
+  SmallVector<std::unique_ptr<int>, 2> w = std::move(v);
+  ASSERT_EQ(w.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(*w[i], i);
+}
+
+TEST(SmallVectorTest, CopyAssign) {
+  SmallVector<int, 2> v{1, 2, 3};
+  SmallVector<int, 2> w{9};
+  w = v;
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], 1);
+}
+
+TEST(SmallVectorTest, MoveAssign) {
+  SmallVector<int, 2> v{1, 2, 3, 4, 5, 6, 7, 8};
+  SmallVector<int, 2> w{9};
+  w = std::move(v);
+  EXPECT_EQ(w.size(), 8u);
+  EXPECT_EQ(w[7], 8);
+}
+
+TEST(SmallVectorTest, PopBack) {
+  SmallVector<int, 4> v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+}
+
+TEST(SmallVectorTest, Resize) {
+  SmallVector<int, 4> v;
+  v.resize(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[9], 0);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(SmallVectorTest, Erase) {
+  SmallVector<int, 4> v{1, 2, 3, 4};
+  v.erase(v.begin() + 1);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 3);
+  EXPECT_EQ(v[2], 4);
+}
+
+TEST(SmallVectorTest, Equality) {
+  SmallVector<int, 2> a{1, 2, 3};
+  SmallVector<int, 2> b{1, 2, 3};
+  SmallVector<int, 2> c{1, 2};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SmallVectorTest, LexicographicCompare) {
+  SmallVector<int, 2> a{1, 2};
+  SmallVector<int, 2> b{1, 3};
+  SmallVector<int, 2> c{1, 2, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(b < a);
+}
+
+TEST(SmallVectorTest, Clear) {
+  SmallVector<std::string, 2> v{"x", "y", "z"};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back("w");
+  EXPECT_EQ(v[0], "w");
+}
+
+TEST(SmallVectorTest, RangeConstructor) {
+  std::vector<int> src{5, 6, 7};
+  SmallVector<int, 2> v(src.begin(), src.end());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 7);
+}
+
+TEST(SmallVectorTest, NonTrivialDestructorsRun) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    explicit Probe(std::shared_ptr<int> p) : c(std::move(p)) {}
+    Probe(Probe&& o) noexcept = default;
+    Probe& operator=(Probe&& o) noexcept = default;
+    ~Probe() {
+      if (c) ++*c;
+    }
+  };
+  {
+    SmallVector<Probe, 2> v;
+    for (int i = 0; i < 5; ++i) v.push_back(Probe{counter});
+  }
+  // Only the 5 live elements count: moved-from temporaries and relocation
+  // sources carry a null pointer.
+  EXPECT_EQ(*counter, 5);
+}
+
+}  // namespace
+}  // namespace fivm::util

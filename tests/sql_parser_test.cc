@@ -1,0 +1,154 @@
+#include "src/sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/ivm_engine.h"
+#include "src/core/variable_order.h"
+#include "src/core/view_tree.h"
+
+namespace fivm::sql {
+namespace {
+
+SchemaRegistry PaperRegistry() {
+  SchemaRegistry reg;
+  reg.Register("R", {"A", "B"});
+  reg.Register("S", {"A", "C", "E"});
+  reg.Register("T", {"C", "D"});
+  return reg;
+}
+
+TEST(SqlParserTest, ParsesExample11Query) {
+  Catalog catalog;
+  std::string error;
+  auto parsed = Parse(
+      "SELECT A, C, SUM(B * D * E) "
+      "FROM R NATURAL JOIN S NATURAL JOIN T GROUP BY A, C;",
+      &catalog, PaperRegistry(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->query->relation_count(), 3);
+  EXPECT_EQ(parsed->query->free_vars().size(), 2u);
+  EXPECT_TRUE(parsed->query->free_vars().Contains(catalog.Lookup("A")));
+  EXPECT_TRUE(parsed->query->free_vars().Contains(catalog.Lookup("C")));
+  ASSERT_EQ(parsed->sum_terms.size(), 3u);
+}
+
+TEST(SqlParserTest, CountQuery) {
+  Catalog catalog;
+  std::string error;
+  auto parsed = Parse("SELECT SUM(1) FROM R NATURAL JOIN S NATURAL JOIN T;",
+                      &catalog, PaperRegistry(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->sum_terms.empty());
+  EXPECT_TRUE(parsed->query->free_vars().empty());
+}
+
+TEST(SqlParserTest, RepeatedAttributeRaisesDegree) {
+  Catalog catalog;
+  std::string error;
+  auto parsed = Parse("SELECT SUM(B * B) FROM R;", &catalog, PaperRegistry(),
+                      &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->sum_terms.size(), 1u);
+  EXPECT_EQ(parsed->sum_terms[0].second, 2);
+}
+
+TEST(SqlParserTest, CaseInsensitiveKeywords) {
+  Catalog catalog;
+  std::string error;
+  auto parsed = Parse("select sum(1) from R natural join S group by A",
+                      &catalog, PaperRegistry(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+}
+
+TEST(SqlParserTest, UnknownRelationFails) {
+  Catalog catalog;
+  std::string error;
+  auto parsed = Parse("SELECT SUM(1) FROM Nope;", &catalog, PaperRegistry(),
+                      &error);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_NE(error.find("Nope"), std::string::npos);
+}
+
+TEST(SqlParserTest, UnknownSumAttributeFails) {
+  Catalog catalog;
+  std::string error;
+  auto parsed = Parse("SELECT SUM(Z) FROM R;", &catalog, PaperRegistry(),
+                      &error);
+  EXPECT_FALSE(parsed.has_value());
+}
+
+TEST(SqlParserTest, SelectColumnMustBeGrouped) {
+  Catalog catalog;
+  std::string error;
+  auto parsed = Parse("SELECT A, SUM(B) FROM R;", &catalog, PaperRegistry(),
+                      &error);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_NE(error.find("GROUP BY"), std::string::npos);
+}
+
+TEST(SqlParserTest, SumOverGroupByVariableFails) {
+  Catalog catalog;
+  std::string error;
+  auto parsed = Parse("SELECT A, SUM(A) FROM R GROUP BY A;", &catalog,
+                      PaperRegistry(), &error);
+  EXPECT_FALSE(parsed.has_value());
+}
+
+TEST(SqlParserTest, MissingSumFails) {
+  Catalog catalog;
+  std::string error;
+  auto parsed = Parse("SELECT A FROM R GROUP BY A;", &catalog,
+                      PaperRegistry(), &error);
+  EXPECT_FALSE(parsed.has_value());
+}
+
+TEST(SqlParserTest, SyntaxErrorsAreReported) {
+  Catalog catalog;
+  std::string error;
+  EXPECT_FALSE(Parse("FROM R", &catalog, PaperRegistry(), &error));
+  EXPECT_FALSE(Parse("SELECT SUM(B FROM R", &catalog, PaperRegistry(),
+                     &error));
+  EXPECT_FALSE(Parse("SELECT SUM(2) FROM R", &catalog, PaperRegistry(),
+                     &error));
+}
+
+// The parsed query drives the engine end to end.
+TEST(SqlParserTest, ParsedQueryRunsOnEngine) {
+  Catalog catalog;
+  std::string error;
+  auto parsed = Parse(
+      "SELECT A, C, SUM(B * D * E) "
+      "FROM R NATURAL JOIN S NATURAL JOIN T GROUP BY A, C;",
+      &catalog, PaperRegistry(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  VariableOrder vo = VariableOrder::Auto(*parsed->query);
+  ViewTree tree(parsed->query.get(), &vo);
+  tree.MaterializeAll();
+  IvmEngine<F64Ring> engine(&tree, SumLiftings(*parsed));
+  Database<F64Ring> db = MakeDatabase<F64Ring>(*parsed->query);
+  engine.Initialize(db);
+
+  auto insert = [&](const char* rel, Tuple t) {
+    int idx = parsed->query->RelationIndexByName(rel);
+    Relation<F64Ring> delta(parsed->query->relation(idx).schema);
+    delta.Add(std::move(t), 1.0);
+    engine.ApplyDelta(idx, delta);
+  };
+  insert("R", Tuple::Ints({1, 10}));
+  insert("S", Tuple::Ints({1, 2, 5}));
+  insert("T", Tuple::Ints({2, 3}));
+
+  // SUM(B*D*E) for (A=1, C=2) = 10 * 3 * 5 = 150.
+  auto pos = engine.result().schema().PositionsOf(
+      Schema{catalog.Lookup("A"), catalog.Lookup("C")});
+  (void)pos;
+  ASSERT_EQ(engine.result().size(), 1u);
+  engine.result().ForEach([&](const Tuple& k, const double& v) {
+    (void)k;
+    EXPECT_DOUBLE_EQ(v, 150.0);
+  });
+}
+
+}  // namespace
+}  // namespace fivm::sql

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "src/core/ivm_engine.h"
+#include "src/core/view_tree.h"
+#include "src/workloads/housing.h"
+#include "src/workloads/retailer.h"
+#include "src/workloads/stream.h"
+#include "src/workloads/twitter.h"
+
+namespace fivm::workloads {
+namespace {
+
+TEST(RetailerTest, SchemaHas43Attributes) {
+  RetailerConfig cfg;
+  cfg.inventory_rows = 100;
+  cfg.locations = 5;
+  cfg.dates = 10;
+  cfg.products = 20;
+  auto ds = RetailerDataset::Generate(cfg);
+  EXPECT_EQ(ds->AttributeCount(), 43);
+  EXPECT_EQ(ds->query->relation_count(), 5);
+  EXPECT_EQ(ds->query->relation(ds->inventory).schema.size(), 4u);
+  EXPECT_EQ(ds->query->relation(ds->location).schema.size(), 15u);
+  EXPECT_EQ(ds->query->relation(ds->census).schema.size(), 16u);
+  EXPECT_EQ(ds->query->relation(ds->item).schema.size(), 5u);
+  EXPECT_EQ(ds->query->relation(ds->weather).schema.size(), 8u);
+}
+
+TEST(RetailerTest, VariableOrderValidAndComposed) {
+  RetailerConfig cfg;
+  cfg.inventory_rows = 10;
+  cfg.locations = 3;
+  cfg.dates = 4;
+  cfg.products = 5;
+  auto ds = RetailerDataset::Generate(cfg);
+  EXPECT_TRUE(ds->vorder.finalized());
+
+  // The paper's view tree for Retailer has 9 views: 5 over the input
+  // relations, 3 intermediate (locn, dateid, ksn... zip), 1 root. With
+  // chain composition our tree has 9 view nodes + 5 leaves.
+  ViewTree tree(ds->query.get(), &ds->vorder);
+  int views = 0;
+  for (const auto& n : tree.nodes()) {
+    if (n.relation < 0) ++views;
+  }
+  EXPECT_EQ(views, 9);
+}
+
+TEST(RetailerTest, JoinIsNonEmpty) {
+  RetailerConfig cfg;
+  cfg.inventory_rows = 500;
+  cfg.locations = 5;
+  cfg.dates = 10;
+  cfg.products = 20;
+  auto ds = RetailerDataset::Generate(cfg);
+
+  ViewTree tree(ds->query.get(), &ds->vorder);
+  tree.MaterializeAll();
+  IvmEngine<I64Ring> engine(&tree, LiftingMap<I64Ring>{});
+  Database<I64Ring> db = MakeDatabase<I64Ring>(*ds->query);
+  for (int r = 0; r < 5; ++r) {
+    for (const Tuple& t : ds->tuples[r]) db[r].Add(t, 1);
+  }
+  engine.Initialize(db);
+  ASSERT_EQ(engine.result().size(), 1u);
+  // Every Inventory row joins with exactly one row of each dimension, so
+  // the join count equals the Inventory multiset size.
+  EXPECT_EQ(*engine.result().Find(Tuple()),
+            static_cast<int64_t>(cfg.inventory_rows));
+}
+
+TEST(HousingTest, SchemaHas27Attributes) {
+  HousingConfig cfg;
+  cfg.postcodes = 10;
+  auto ds = HousingDataset::Generate(cfg);
+  EXPECT_EQ(ds->AttributeCount(), 27);
+  EXPECT_EQ(ds->query->relation_count(), 6);
+}
+
+TEST(HousingTest, ScaleGrowsJoinCubically) {
+  // Join count per postcode = scale^3 (House x Shop x Restaurant) with the
+  // three singleton relations contributing factor 1.
+  for (int scale : {1, 2, 3}) {
+    HousingConfig cfg;
+    cfg.postcodes = 20;
+    cfg.scale = scale;
+    auto ds = HousingDataset::Generate(cfg);
+
+    ViewTree tree(ds->query.get(), &ds->vorder);
+    tree.MaterializeAll();
+    IvmEngine<I64Ring> engine(&tree, LiftingMap<I64Ring>{});
+    Database<I64Ring> db = MakeDatabase<I64Ring>(*ds->query);
+    for (int r = 0; r < 6; ++r) {
+      for (const Tuple& t : ds->tuples[r]) db[r].Add(t, 1);
+    }
+    engine.Initialize(db);
+    int64_t expected = static_cast<int64_t>(cfg.postcodes) * scale * scale *
+                       static_cast<int64_t>(scale);
+    EXPECT_EQ(*engine.result().Find(Tuple()), expected) << "scale " << scale;
+  }
+}
+
+TEST(HousingTest, TotalTuplesScaleRoughlyLinearly) {
+  HousingConfig cfg;
+  cfg.postcodes = 100;
+  cfg.scale = 1;
+  auto s1 = HousingDataset::Generate(cfg);
+  cfg.scale = 4;
+  auto s4 = HousingDataset::Generate(cfg);
+  size_t t1 = 0, t4 = 0;
+  for (const auto& rel : s1->tuples) t1 += rel.size();
+  for (const auto& rel : s4->tuples) t4 += rel.size();
+  // scale 1: 6 rows/postcode; scale 4: 3*4+3 = 15 rows/postcode.
+  EXPECT_EQ(t1, 600u);
+  EXPECT_EQ(t4, 1500u);
+}
+
+TEST(TwitterTest, EdgesSplitEvenly) {
+  TwitterConfig cfg;
+  cfg.nodes = 100;
+  cfg.edges = 3000;
+  auto ds = TwitterDataset::Generate(cfg);
+  EXPECT_EQ(ds->tuples[0].size(), 1000u);
+  EXPECT_EQ(ds->tuples[1].size(), 1000u);
+  EXPECT_EQ(ds->tuples[2].size(), 1000u);
+}
+
+TEST(TwitterTest, TriangleCountMatchesNaive) {
+  TwitterConfig cfg;
+  cfg.nodes = 30;
+  cfg.edges = 300;
+  auto ds = TwitterDataset::Generate(cfg);
+
+  ViewTree tree(ds->query.get(), &ds->vorder);
+  tree.MaterializeAll();
+  IvmEngine<I64Ring> engine(&tree, LiftingMap<I64Ring>{});
+  Database<I64Ring> db = MakeDatabase<I64Ring>(*ds->query);
+  for (int r = 0; r < 3; ++r) {
+    for (const Tuple& t : ds->tuples[r]) db[r].Add(t, 1);
+  }
+  engine.Initialize(db);
+
+  // Naive triangle count with multiplicities.
+  int64_t expected = 0;
+  db[0].ForEach([&](const Tuple& rab, const int64_t& m1) {
+    db[1].ForEach([&](const Tuple& sbc, const int64_t& m2) {
+      if (rab[1] != sbc[0]) return;
+      db[2].ForEach([&](const Tuple& tca, const int64_t& m3) {
+        if (sbc[1] == tca[0] && tca[1] == rab[0]) expected += m1 * m2 * m3;
+      });
+    });
+  });
+  const int64_t* got = engine.result().Find(Tuple());
+  EXPECT_EQ(got ? *got : 0, expected);
+}
+
+TEST(StreamTest, RoundRobinInterleavesBatches) {
+  std::vector<std::vector<Tuple>> rels(2);
+  for (int64_t i = 0; i < 5; ++i) rels[0].push_back(Tuple::Ints({i}));
+  for (int64_t i = 0; i < 3; ++i) rels[1].push_back(Tuple::Ints({100 + i}));
+  auto stream = UpdateStream::RoundRobin(rels, 2);
+
+  // Batches: R0[0,1], R1[100,101], R0[2,3], R1[102], R0[4].
+  ASSERT_EQ(stream.batches().size(), 5u);
+  EXPECT_EQ(stream.batches()[0].relation, 0);
+  EXPECT_EQ(stream.batches()[1].relation, 1);
+  EXPECT_EQ(stream.batches()[2].relation, 0);
+  EXPECT_EQ(stream.batches()[3].relation, 1);
+  EXPECT_EQ(stream.batches()[3].tuples.size(), 1u);
+  EXPECT_EQ(stream.batches()[4].relation, 0);
+  EXPECT_EQ(stream.total_tuples(), 8u);
+}
+
+TEST(StreamTest, SingleRelationStream) {
+  std::vector<Tuple> tuples;
+  for (int64_t i = 0; i < 10; ++i) tuples.push_back(Tuple::Ints({i}));
+  auto stream = UpdateStream::SingleRelation(2, tuples, 4);
+  ASSERT_EQ(stream.batches().size(), 3u);
+  for (const auto& b : stream.batches()) EXPECT_EQ(b.relation, 2);
+}
+
+TEST(StreamTest, ToDeltaAggregatesDuplicates) {
+  Catalog catalog;
+  Query query(&catalog);
+  query.AddRelation("R", catalog.MakeSchema({"A"}));
+  UpdateStream::Batch batch;
+  batch.relation = 0;
+  batch.tuples.push_back(Tuple::Ints({1}));
+  batch.tuples.push_back(Tuple::Ints({1}));
+  batch.tuples.push_back(Tuple::Ints({2}));
+  auto delta = UpdateStream::ToDelta<I64Ring>(query, batch);
+  EXPECT_EQ(*delta.Find(Tuple::Ints({1})), 2);
+  EXPECT_EQ(*delta.Find(Tuple::Ints({2})), 1);
+}
+
+}  // namespace
+}  // namespace fivm::workloads
