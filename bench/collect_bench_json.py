@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Merges benchmark outputs into the per-PR perf-trajectory JSON.
+
+Reads google-benchmark --benchmark_format=json files and the text series
+emitted by the figure harnesses (bench/series_runner.h), and stores them
+under --label in the output file, preserving results already recorded under
+other labels (e.g. a pre-optimization "baseline" run).
+"""
+
+import argparse
+import json
+import os
+import re
+
+
+def parse_gbench(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        entry = {"real_time_ns": b.get("real_time")}
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        out[b["name"]] = entry
+    return out
+
+
+SERIES_ROW = re.compile(
+    r"^(\S[^ ]*(?: \S+)*?)\s+fraction=([0-9.]+)\s+tuples=\s*(\d+)\s+"
+    r"throughput=\s*([0-9.]+) t/s\s+mem=\s*([0-9.]+) MB")
+TIMEOUT_ROW = re.compile(
+    r"^(\S[^ ]*(?: \S+)*?)\s+TIMEOUT after ([0-9.]+)s at "
+    r"fraction=([0-9.]+) \((\d+) tuples,\s*([0-9.]+) t/s\)")
+
+
+def parse_series(path):
+    """Keeps the last (highest-fraction) row per system."""
+    out = {}
+    with open(path) as f:
+        for line in f:
+            m = SERIES_ROW.match(line)
+            if m:
+                out[m.group(1)] = {
+                    "fraction": float(m.group(2)),
+                    "tuples": int(m.group(3)),
+                    "throughput_tuples_per_sec": float(m.group(4)),
+                    "mem_mb": float(m.group(5)),
+                }
+                continue
+            m = TIMEOUT_ROW.match(line)
+            if m:
+                out[m.group(1)] = {
+                    "fraction": float(m.group(3)),
+                    "tuples": int(m.group(4)),
+                    "throughput_tuples_per_sec": float(m.group(5)),
+                    "timeout_after_sec": float(m.group(2)),
+                }
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--label", required=True)
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--gbench", action="append", default=[],
+                    metavar="NAME=PATH")
+    ap.add_argument("--series", action="append", default=[],
+                    metavar="NAME=PATH")
+    args = ap.parse_args()
+
+    doc = {}
+    if os.path.exists(args.out):
+        with open(args.out) as f:
+            doc = json.load(f)
+
+    results = {}
+    for spec in args.gbench:
+        name, path = spec.split("=", 1)
+        results[name] = parse_gbench(path)
+    for spec in args.series:
+        name, path = spec.split("=", 1)
+        results[name] = parse_series(path)
+
+    doc[args.label] = results
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -70,7 +70,27 @@ class IvmEngine {
   /// Applies an update δR to relation `relation` (Figure 4 delta tree):
   /// propagates delta views leaf-to-root and refreshes every materialized
   /// store on the path, then propagates any indicator deltas sequentially.
+  /// The rvalue overload consumes the delta, so a freshly built update
+  /// batch flows into propagation without a per-batch deep copy.
   void ApplyDelta(int relation, const Relation<Ring>& delta) {
+    const Schema& target =
+        tree_->node(tree_->LeafOfRelation(relation)).out_schema;
+    if (delta.schema() == target) {
+      ApplyDelta(relation, Relation<Ring>(delta));
+      return;
+    }
+    // Reorder straight from the reference: one materialization, not a deep
+    // copy followed by a rebuild inside ReorderIfNeeded.
+    Relation<Ring> reordered(target);
+    reordered.Reserve(delta.size());
+    auto pos = delta.schema().PositionsOf(target);
+    delta.ForEach([&](const Tuple& k, const Element& p) {
+      reordered.Add(k.Project(pos), p);
+    });
+    ApplyDelta(relation, std::move(reordered));
+  }
+
+  void ApplyDelta(int relation, Relation<Ring>&& delta) {
     // Indicator deltas are derived from the pre-update base relation.
     std::vector<std::pair<int, Relation<Ring>>> indicator_deltas;
     for (int leaf : tree_->IndicatorLeavesOfRelation(relation)) {
@@ -81,7 +101,8 @@ class IvmEngine {
     int leaf = tree_->LeafOfRelation(relation);
     if (tree_->node(leaf).materialized) AbsorbInto(stores_[leaf], delta);
     PropagateUp(leaf,
-                ReorderIfNeeded(delta, tree_->node(leaf).out_schema));
+                ReorderIfNeeded(std::move(delta),
+                                tree_->node(leaf).out_schema));
 
     for (auto& [ind_leaf, ind_delta] : indicator_deltas) {
       if (ind_delta.empty()) continue;
@@ -112,7 +133,7 @@ class IvmEngine {
       // expanded form.
       Relation<Ring> expanded = ExpandProduct(factors);
       ApplyDelta(relation,
-                 ReorderIfNeeded(expanded,
+                 ReorderIfNeeded(std::move(expanded),
                                  query_relation_schema(relation)));
       return;
     }
@@ -121,7 +142,7 @@ class IvmEngine {
     int leaf = path[0];
     if (tree_->node(leaf).materialized) {
       Relation<Ring> expanded = ExpandProduct(factors);
-      AbsorbInto(stores_[leaf], expanded);
+      AbsorbInto(stores_[leaf], std::move(expanded));
     }
 
     int prev = leaf;
@@ -135,10 +156,13 @@ class IvmEngine {
         assert(tree_->node(c).materialized);
         const Relation<Ring>& sib = stores_[c];
 
-        // Merge every factor sharing variables with the sibling.
+        // Merge every factor sharing variables with the sibling. Consumed
+        // factors are compacted out in one stable pass (the erase-in-loop
+        // alternative is quadratic on wide products).
         Relation<Ring> combined;
         bool have = false;
-        for (size_t f = 0; f < factors.size();) {
+        size_t keep = 0;
+        for (size_t f = 0; f < factors.size(); ++f) {
           if (factors[f].schema().Intersects(sib.schema())) {
             if (!have) {
               combined = std::move(factors[f]);
@@ -146,11 +170,12 @@ class IvmEngine {
             } else {
               combined = Join(combined, factors[f]);
             }
-            factors.erase(factors.begin() + f);
           } else {
-            ++f;
+            if (keep != f) factors[keep] = std::move(factors[f]);
+            ++keep;
           }
         }
+        factors.resize(keep);
         if (!have) {
           // Sibling independent of all factors: it becomes its own factor
           // (Cartesian term), with retained vars marginalized.
@@ -195,7 +220,7 @@ class IvmEngine {
 
       if (n.materialized) {
         Relation<Ring> expanded = ExpandProduct(factors);
-        AbsorbInto(stores_[path[i]], expanded);
+        AbsorbInto(stores_[path[i]], std::move(expanded));
       }
       prev = path[i];
     }
@@ -243,14 +268,19 @@ class IvmEngine {
     return tree_->query().relation(relation).schema;
   }
 
-  static Relation<Ring> ReorderIfNeeded(const Relation<Ring>& rel,
+  /// Takes and returns by value: when the schemas already match, the input
+  /// moves straight through (no copy); otherwise keys are re-projected and
+  /// payloads moved into the re-ordered relation.
+  static Relation<Ring> ReorderIfNeeded(Relation<Ring> rel,
                                         const Schema& target) {
     if (rel.schema() == target) return rel;
     Relation<Ring> out(target);
+    out.Reserve(rel.size());
     auto pos = rel.schema().PositionsOf(target);
-    rel.ForEach([&](const Tuple& k, const Element& p) {
-      out.Add(k.Project(pos), p);
-    });
+    for (auto& e : rel.TakeEntries()) {
+      if (Ring::IsZero(e.payload)) continue;
+      out.Add(e.key.Project(pos), std::move(e.payload));
+    }
     return out;
   }
 
@@ -263,14 +293,26 @@ class IvmEngine {
     while (idx >= 0) {
       if (cur.empty()) return;  // nothing changes upstream
       const ViewTree::Node& n = tree_->node(idx);
+      Schema store_marg = n.marg_vars.Minus(n.retained_vars);
+      int last_sibling = -1;
+      for (int c : n.children) {
+        if (c != prev) last_sibling = c;
+      }
       for (int c : n.children) {
         if (c == prev) continue;
         assert(tree_->node(c).materialized &&
                "sibling view not materialized for this updatable set");
-        cur = JoinAndMarginalize(cur, stores_[c],
-                                 tree_->node(c).retained_vars, lifts_);
+        // Fuse the store-level marginalization into the final sibling join
+        // (as EvalOut does): one less materialized intermediate per batch,
+        // and the fused call more often qualifies for the single-emit
+        // left-key fast path of JoinAndMarginalize.
+        Schema marg = tree_->node(c).retained_vars;
+        if (c == last_sibling && !store_marg.empty()) {
+          marg = marg.Union(store_marg);
+          store_marg = Schema{};
+        }
+        cur = JoinAndMarginalize(cur, stores_[c], marg, lifts_);
       }
-      Schema store_marg = n.marg_vars.Minus(n.retained_vars);
       if (!store_marg.empty()) cur = Marginalize(cur, store_marg, lifts_);
       if (n.materialized) AbsorbInto(stores_[idx], cur);
       Schema out_marg = n.marg_vars.Intersect(n.retained_vars);
@@ -300,8 +342,7 @@ class IvmEngine {
 
     Relation<Ring> dind(ln.out_schema);
     delta.ForEach([&](const Tuple& t, const Element& p) {
-      Tuple store_key = t.Project(store_pos);
-      const Element* old = rstore.Find(store_key);
+      const Element* old = rstore.Find(TupleView(t, store_pos));
       bool old_nz = old != nullptr;
       Element updated = old ? Ring::Add(*old, p) : p;
       bool new_nz = !Ring::IsZero(updated);

@@ -21,10 +21,24 @@ namespace fivm {
 ///
 /// Storage model: slot-stable entry vector + primary hash index + lazily
 /// built secondary indexes over key prefixes (DBToaster-style multi-indexed
-/// map). Entries whose payload becomes zero are tombstoned lazily: they stay
-/// in the entry vector and indexes but are skipped by iteration, `Find`, and
-/// index probes. `CompactionThreshold` triggers a rebuild when dead entries
-/// dominate.
+/// map). The allocation-free probe path (TupleView + heterogeneous lookup)
+/// relies on the following invariants:
+///
+///  - *Slot stability*: an entry's slot (its position in the entry vector)
+///    never changes while the relation is alive, except across compaction,
+///    which renumbers slots and rebuilds every index. Probe results
+///    (slot lists) are therefore valid only until the next Add().
+///  - *Tombstone skipping*: entries whose payload becomes zero are
+///    tombstoned lazily — they stay in the entry vector and in all indexes;
+///    iteration and `Find` skip them, and secondary-index probe results may
+///    include them, so probe loops must test `Ring::IsZero` per slot.
+///  - *Hash caching*: every stored key carries its 64-bit hash (computed
+///    once at construction, see Tuple); index probes, inserts, rehashes and
+///    compaction reuse it and never re-scan key values. A TupleView probe
+///    key computes its hash once at view construction and must fold the
+///    same value hashes in the same order as the owning Tuple would.
+///
+/// `CompactionThreshold` triggers a rebuild when dead entries dominate.
 template <typename Ring>
   requires RingPolicy<Ring>
 class Relation {
@@ -52,6 +66,7 @@ class Relation {
     entries_ = other.entries_;
     index_ = other.index_;
     secondary_.clear();
+    secondary_by_schema_.clear();
     live_ = other.live_;
     return *this;
   }
@@ -65,40 +80,117 @@ class Relation {
   size_t size() const { return live_; }
   bool empty() const { return live_ == 0; }
 
-  /// Adds `delta` to the payload of `key` (⊎ of a singleton). Creates the
-  /// entry if absent; tombstones it if the payload becomes zero.
-  void Add(const Tuple& key, Element delta) {
-    if (Ring::IsZero(delta)) return;
-    if (uint32_t* slot = index_.Find(key)) {
-      Entry& e = entries_[*slot];
-      bool was_zero = Ring::IsZero(e.payload);
-      Ring::AddInPlace(e.payload, delta);
-      bool is_zero = Ring::IsZero(e.payload);
-      if (was_zero && !is_zero) ++live_;
-      if (!was_zero && is_zero) {
-        --live_;
-        MaybeCompact();
-      }
-      return;
-    }
-    uint32_t slot = static_cast<uint32_t>(entries_.size());
-    entries_.push_back(Entry{key, std::move(delta)});
-    index_.Insert(key, slot);
-    for (auto& sec : secondary_) {
-      sec->Append(entries_[slot].key, slot);
-    }
-    ++live_;
+  /// Pre-sizes the entry vector and the primary index for `n` keys, so a
+  /// bulk of Add() calls proceeds without rehashing or reallocating.
+  void Reserve(size_t n) {
+    entries_.reserve(n);
+    index_.Reserve(n);
   }
 
-  /// Returns the payload of `key`, or nullptr if absent/zero.
-  const Element* Find(const Tuple& key) const {
-    const uint32_t* slot = index_.Find(key);
-    if (slot == nullptr) return nullptr;
-    const Entry& e = entries_[*slot];
+  /// Primary key index: open addressing over {cached hash, slot} cells.
+  /// Keys live only in the entry vector (memory-pooled records); the index
+  /// never stores a second copy. Probes compare the cached 64-bit hashes
+  /// first and touch an entry key only on a hash match, so a miss never
+  /// leaves the 16-byte cell array. There is no deletion: zero-payload
+  /// entries are tombstoned in place and dropped at compaction, which
+  /// rebuilds the index from scratch.
+  class SlotIndex {
+   public:
+    static constexpr uint32_t kNoSlot = static_cast<uint32_t>(-1);
+
+    void clear() {
+      cells_.clear();
+      size_ = 0;
+      capacity_ = 0;
+      mask_ = 0;
+    }
+
+    void Reserve(size_t n) {
+      size_t needed = util::HashReserveCapacity(n);
+      if (needed > capacity_) Rehash(util::HashCapacityPow2(needed));
+    }
+
+    /// Slot of the entry whose key equals `key`, or kNoSlot. `key` may be a
+    /// Tuple or a TupleView; either way its hash is already cached.
+    template <typename K>
+    uint32_t Lookup(const K& key, const std::vector<Entry>& entries) const {
+      if (size_ == 0) return kNoSlot;
+      uint64_t h = key.Hash();
+      size_t idx = h & mask_;
+      while (cells_[idx].slot != kNoSlot) {
+        if (cells_[idx].hash == h && entries[cells_[idx].slot].key == key) {
+          return cells_[idx].slot;
+        }
+        idx = (idx + 1) & mask_;
+      }
+      return kNoSlot;
+    }
+
+    /// Records `slot` under `hash`. The caller guarantees the key is not
+    /// present.
+    void Insert(uint64_t hash, uint32_t slot) {
+      if (util::HashNeedsGrowth(size_, capacity_)) {
+        Rehash(capacity_ == 0 ? 8 : capacity_ * 2);
+      }
+      Place(hash, slot);
+      ++size_;
+    }
+
+    size_t ApproxBytes() const { return capacity_ * sizeof(Cell); }
+
+   private:
+    struct Cell {
+      uint64_t hash;
+      uint32_t slot;
+    };
+
+    void Place(uint64_t hash, uint32_t slot) {
+      size_t idx = hash & mask_;
+      while (cells_[idx].slot != kNoSlot) idx = (idx + 1) & mask_;
+      cells_[idx] = Cell{hash, slot};
+    }
+
+    // Redistributes {hash, slot} cells; never touches keys.
+    void Rehash(size_t new_capacity) {
+      std::vector<Cell> old = std::move(cells_);
+      capacity_ = new_capacity;
+      mask_ = capacity_ - 1;
+      cells_.assign(capacity_, Cell{0, kNoSlot});
+      for (const Cell& c : old) {
+        if (c.slot != kNoSlot) Place(c.hash, c.slot);
+      }
+    }
+
+    std::vector<Cell> cells_;
+    size_t size_ = 0;
+    size_t capacity_ = 0;
+    size_t mask_ = 0;
+  };
+
+  /// Adds `delta` to the payload of `key` (⊎ of a singleton). Creates the
+  /// entry if absent; tombstones it if the payload becomes zero. The rvalue
+  /// overload moves the key into the new entry instead of copying it.
+  void Add(const Tuple& key, Element delta) {
+    AddImpl(key, std::move(delta));
+  }
+  void Add(Tuple&& key, Element delta) {
+    AddImpl(std::move(key), std::move(delta));
+  }
+
+  /// Returns the payload of `key`, or nullptr if absent/zero. Also accepts
+  /// a TupleView (allocation-free heterogeneous probe).
+  template <typename K>
+  const Element* Find(const K& key) const {
+    uint32_t slot = index_.Lookup(key, entries_);
+    if (slot == SlotIndex::kNoSlot) return nullptr;
+    const Entry& e = entries_[slot];
     return Ring::IsZero(e.payload) ? nullptr : &e.payload;
   }
 
-  bool Contains(const Tuple& key) const { return Find(key) != nullptr; }
+  template <typename K>
+  bool Contains(const K& key) const {
+    return Find(key) != nullptr;
+  }
 
   /// Iterates over live entries: `fn(const Tuple&, const Element&)`.
   template <typename Fn>
@@ -113,10 +205,21 @@ class Relation {
     other.ForEach([&](const Tuple& k, const Element& p) { Add(k, p); });
   }
 
+  /// Destructively extracts the entry vector (live entries and tombstones
+  /// alike; callers must skip zero payloads) and clears the relation. The
+  /// move-aware absorb/reorder paths use this to re-home keys and payloads
+  /// without copying them.
+  std::vector<Entry> TakeEntries() {
+    std::vector<Entry> out = std::move(entries_);
+    Clear();
+    return out;
+  }
+
   void Clear() {
     entries_.clear();
     index_.clear();
     secondary_.clear();
+    secondary_by_schema_.clear();
     live_ = 0;
   }
 
@@ -134,8 +237,11 @@ class Relation {
       buckets_[full_key.Project(positions_)].push_back(slot);
     }
 
-    /// Slots of entries matching `sub_key` (projected key), or nullptr.
-    const util::SmallVector<uint32_t, 2>* Probe(const Tuple& sub_key) const {
+    /// Slots of entries matching the projected key, or nullptr. Accepts an
+    /// owning Tuple or a borrowed TupleView; the view probe performs no
+    /// heap allocation.
+    template <typename K>
+    const util::SmallVector<uint32_t, 2>* Probe(const K& sub_key) const {
       return buckets_.Find(sub_key);
     }
 
@@ -150,16 +256,19 @@ class Relation {
   };
 
   /// Returns (building on first use) the secondary index on `sub` ⊆ schema.
-  /// The index is maintained by subsequent Add() calls. Logically const:
-  /// index construction does not change relation contents.
+  /// The index is maintained by subsequent Add() calls and located in O(1)
+  /// through a schema-keyed cache. Logically const: index construction does
+  /// not change relation contents.
   const SecondaryIndex& IndexOn(const Schema& sub) const {
-    for (const auto& sec : secondary_) {
-      if (sec->sub_schema() == sub) return *sec;
+    if (const uint32_t* pos = secondary_by_schema_.Find(sub)) {
+      return *secondary_[*pos];
     }
     auto sec = std::make_unique<SecondaryIndex>(schema_, sub);
     for (uint32_t slot = 0; slot < entries_.size(); ++slot) {
       sec->Append(entries_[slot].key, slot);
     }
+    secondary_by_schema_.Insert(sub,
+                                static_cast<uint32_t>(secondary_.size()));
     secondary_.push_back(std::move(sec));
     return *secondary_.back();
   }
@@ -182,6 +291,31 @@ class Relation {
   }
 
  private:
+  template <typename K>
+  void AddImpl(K&& key, Element delta) {
+    if (Ring::IsZero(delta)) return;
+    uint32_t slot = index_.Lookup(key, entries_);
+    if (slot != SlotIndex::kNoSlot) {
+      Entry& e = entries_[slot];
+      bool was_zero = Ring::IsZero(e.payload);
+      Ring::AddInPlace(e.payload, delta);
+      bool is_zero = Ring::IsZero(e.payload);
+      if (was_zero && !is_zero) ++live_;
+      if (!was_zero && is_zero) {
+        --live_;
+        MaybeCompact();
+      }
+      return;
+    }
+    slot = static_cast<uint32_t>(entries_.size());
+    entries_.push_back(Entry{std::forward<K>(key), std::move(delta)});
+    index_.Insert(entries_[slot].key.Hash(), slot);
+    for (auto& sec : secondary_) {
+      sec->Append(entries_[slot].key, slot);
+    }
+    ++live_;
+  }
+
   void MaybeCompact() {
     size_t dead = entries_.size() - live_;
     if (entries_.size() < 64 || dead * 2 < entries_.size()) return;
@@ -191,9 +325,11 @@ class Relation {
     std::vector<std::unique_ptr<SecondaryIndex>> old_secondary =
         std::move(secondary_);
     secondary_.clear();
+    secondary_by_schema_.clear();
     live_ = 0;
+    Reserve(old.size() - dead);
     for (Entry& e : old) {
-      if (!Ring::IsZero(e.payload)) Add(e.key, std::move(e.payload));
+      if (!Ring::IsZero(e.payload)) Add(std::move(e.key), std::move(e.payload));
     }
     // Rebuild the same secondary indexes so cached references stay valid
     // across compaction is NOT guaranteed; engine code re-fetches via
@@ -205,8 +341,10 @@ class Relation {
 
   Schema schema_;
   std::vector<Entry> entries_;
-  util::FlatHashMap<Tuple, uint32_t, TupleHash> index_;
+  SlotIndex index_;
   mutable std::vector<std::unique_ptr<SecondaryIndex>> secondary_;
+  // O(1) locator: schema -> position in secondary_.
+  mutable util::FlatHashMap<Schema, uint32_t, SchemaHash> secondary_by_schema_;
   size_t live_ = 0;
 };
 

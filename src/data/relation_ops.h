@@ -18,6 +18,11 @@ namespace fivm {
 /// Join and marginalization are also provided fused, which is what view-tree
 /// evaluation and delta propagation use to avoid materializing intermediate
 /// join results.
+///
+/// Hot-path discipline: probe keys are TupleViews (no allocation per left
+/// entry), output keys are built in a reused scratch tuple (no allocation
+/// per match; Relation::Add copies the key only when it creates a new
+/// entry), and expiring inputs are consumed by move.
 
 /// ⊎: returns left ⊎ right (schemas must match as sets; output uses left's
 /// order).
@@ -25,6 +30,7 @@ template <typename Ring>
 Relation<Ring> Union(const Relation<Ring>& left, const Relation<Ring>& right) {
   assert(left.schema().SameSet(right.schema()));
   Relation<Ring> out(left.schema());
+  out.Reserve(left.size() + right.size());
   left.ForEach([&](const Tuple& k, const typename Ring::Element& p) {
     out.Add(k, p);
   });
@@ -82,25 +88,31 @@ Relation<Ring> Join(const Relation<Ring>& left, const Relation<Ring>& right) {
   auto left_common = left.schema().PositionsOf(common);
   auto right_private_pos = right.schema().PositionsOf(right_private);
 
+  Tuple scratch;
+  auto emit = [&](const Tuple& lk, const Element& lp, const Tuple& rk,
+                  const Element& rp) {
+    scratch = lk;  // memcpy of values + cached hash; no re-fold of the prefix
+    for (auto p : right_private_pos) scratch.Append(rk[p]);
+    out.Add(scratch, Ring::Mul(lp, rp));
+  };
+
   if (common.empty()) {
     // Cartesian product.
     left.ForEach([&](const Tuple& lk, const Element& lp) {
-      right.ForEach([&](const Tuple& rk, const Element& rp) {
-        out.Add(lk.Concat(rk.Project(right_private_pos)), Ring::Mul(lp, rp));
-      });
+      right.ForEach(
+          [&](const Tuple& rk, const Element& rp) { emit(lk, lp, rk, rp); });
     });
     return out;
   }
 
   const auto& right_index = right.IndexOn(common);
   left.ForEach([&](const Tuple& lk, const Element& lp) {
-    const auto* slots = right_index.Probe(lk.Project(left_common));
+    const auto* slots = right_index.Probe(TupleView(lk, left_common));
     if (slots == nullptr) return;
     for (uint32_t slot : *slots) {
       const auto& e = right.EntryAt(slot);
       if (Ring::IsZero(e.payload)) continue;
-      out.Add(lk.Concat(e.key.Project(right_private_pos)),
-              Ring::Mul(lp, e.payload));
+      emit(lk, lp, e.key, e.payload);
     }
   });
   return out;
@@ -149,19 +161,38 @@ Relation<Ring> JoinAndMarginalize(const Relation<Ring>& left,
     }
   }
 
-  auto emit = [&](const Tuple& lk, const Element& lp, const Tuple& rk,
+  // One match's ring term: Mul(left, right) times the lifted marginalized
+  // values.
+  auto term = [&](const Tuple& lk, const Element& lp, const Tuple& rk,
                   const Element& rp) {
-    Tuple out_key;
-    for (const auto& [from_left, pos] : out_src) {
-      out_key.Append(from_left ? lk[pos] : rk[pos]);
-    }
     Element acc = Ring::Mul(lp, rp);
     for (const auto& [var, src] : lifted) {
       const Value& x = src.first ? lk[src.second] : rk[src.second];
       acc = Ring::Mul(acc, lifts.Lift(var, x));
     }
-    out.Add(std::move(out_key), std::move(acc));
+    return acc;
   };
+
+  // The scratch key is reused across all emits; Relation::Add copies it
+  // only when the key is new to the output.
+  Tuple scratch;
+  auto emit = [&](const Tuple& lk, const Element& lp, const Tuple& rk,
+                  const Element& rp) {
+    scratch.Clear();
+    for (const auto& [from_left, pos] : out_src) {
+      scratch.Append(from_left ? lk[pos] : rk[pos]);
+    }
+    out.Add(scratch, term(lk, lp, rk, rp));
+  };
+
+  // When every output variable comes from the left side (all of the right
+  // side is joined away), the output key is fixed per left entry, so the
+  // whole match set folds in the ring (distributivity) and costs a single
+  // hash-map update instead of one per match.
+  bool left_only_key = true;
+  for (const auto& [from_left, pos] : out_src) {
+    left_only_key = left_only_key && from_left;
+  }
 
   if (common.empty()) {
     left.ForEach([&](const Tuple& lk, const Element& lp) {
@@ -172,8 +203,32 @@ Relation<Ring> JoinAndMarginalize(const Relation<Ring>& left,
   }
 
   const auto& right_index = right.IndexOn(common);
+  if (left_only_key) {
+    left.ForEach([&](const Tuple& lk, const Element& lp) {
+      const auto* slots = right_index.Probe(TupleView(lk, left_common));
+      if (slots == nullptr) return;
+      Element acc = Ring::Zero();
+      bool have = false;
+      for (uint32_t slot : *slots) {
+        const auto& e = right.EntryAt(slot);
+        if (Ring::IsZero(e.payload)) continue;
+        if (!have) {
+          acc = term(lk, lp, e.key, e.payload);
+          have = true;
+        } else {
+          Ring::AddInPlace(acc, term(lk, lp, e.key, e.payload));
+        }
+      }
+      if (!have) return;
+      scratch.Clear();
+      for (const auto& [from_left, pos] : out_src) scratch.Append(lk[pos]);
+      out.Add(scratch, std::move(acc));
+    });
+    return out;
+  }
+
   left.ForEach([&](const Tuple& lk, const Element& lp) {
-    const auto* slots = right_index.Probe(lk.Project(left_common));
+    const auto* slots = right_index.Probe(TupleView(lk, left_common));
     if (slots == nullptr) return;
     for (uint32_t slot : *slots) {
       const auto& e = right.EntryAt(slot);
@@ -197,6 +252,30 @@ void AbsorbInto(Relation<Ring>& store, const Relation<Ring>& delta) {
   delta.ForEach([&](const Tuple& k, const typename Ring::Element& p) {
     store.Add(k.Project(pos), p);
   });
+}
+
+/// Move-aware absorb: consumes `delta`, re-homing keys and payloads instead
+/// of copying them. When the store is empty and the layouts match, this is
+/// a single relation move (the common "fill a fresh store" case).
+template <typename Ring>
+void AbsorbInto(Relation<Ring>& store, Relation<Ring>&& delta) {
+  assert(store.schema().SameSet(delta.schema()));
+  if (store.schema() == delta.schema()) {
+    if (store.empty()) {
+      store = std::move(delta);
+      return;
+    }
+    for (auto& e : delta.TakeEntries()) {
+      if (Ring::IsZero(e.payload)) continue;
+      store.Add(std::move(e.key), std::move(e.payload));
+    }
+    return;
+  }
+  auto pos = delta.schema().PositionsOf(store.schema());
+  for (auto& e : delta.TakeEntries()) {
+    if (Ring::IsZero(e.payload)) continue;
+    store.Add(e.key.Project(pos), std::move(e.payload));
+  }
 }
 
 /// Converts a relation between rings by mapping payloads through `fn`.

@@ -75,6 +75,11 @@ class Schema {
   util::SmallVector<VarId, 6> vars_;
 };
 
+/// Hasher for schema-keyed maps (e.g. Relation's secondary-index cache).
+struct SchemaHash {
+  uint64_t operator()(const Schema& s) const { return s.Hash(); }
+};
+
 }  // namespace fivm
 
 #endif  // FIVM_DATA_SCHEMA_H_

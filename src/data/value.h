@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 
 #include "src/util/hash.h"
 
@@ -59,7 +60,7 @@ class Value {
     return d_ < o.d_;
   }
 
-  uint64_t Hash() const {
+  constexpr uint64_t Hash() const {
     return util::Mix64(static_cast<uint64_t>(i_) ^
                        (static_cast<uint64_t>(kind_) << 62));
   }
@@ -73,6 +74,11 @@ class Value {
     double d_;
   };
 };
+
+// Tuples copy keys with memcpy fast paths (util::SmallVector) and Relation
+// snapshots entry vectors wholesale; both rely on Value staying trivially
+// copyable.
+static_assert(std::is_trivially_copyable_v<Value>);
 
 }  // namespace fivm
 

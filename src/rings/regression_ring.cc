@@ -29,7 +29,7 @@ RegressionPayload Add(const RegressionPayload& a, const RegressionPayload& b) {
   UnionRange(a.lo_, a.hi_, b.lo_, b.hi_, &out.lo_, &out.hi_);
   size_t len = out.len();
   if (len == 0) return out;
-  out.buf_.assign(len + len * (len + 1) / 2, 0.0);
+  out.buf_.resize(len + len * (len + 1) / 2);  // value-initialized to 0.0
 
   auto accumulate = [&](const RegressionPayload& p) {
     if (!p.has_range()) return;
@@ -88,7 +88,7 @@ RegressionPayload Mul(const RegressionPayload& a, const RegressionPayload& b) {
   UnionRange(a.lo_, a.hi_, b.lo_, b.hi_, &out.lo_, &out.hi_);
   size_t len = out.len();
   if (len == 0) return out;
-  out.buf_.assign(len + len * (len + 1) / 2, 0.0);
+  out.buf_.resize(len + len * (len + 1) / 2);  // value-initialized to 0.0
 
   double* s = out.s_data();
   double* q = out.q_data();

@@ -4,9 +4,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <utility>
-#include <vector>
 
 #include "src/data/value.h"
+#include "src/util/small_vector.h"
 
 namespace fivm {
 
@@ -45,6 +45,12 @@ class RegressionPayload {
     p.buf_[1] = x * x;   // Q[slot][slot]
     return p;
   }
+
+  /// Inline buffer capacity: s + packed upper triangle for ranges of up to
+  /// 3 slots (9 doubles), so degree-3 workloads — lifts (2), pairwise
+  /// products (5), full triangle cofactors (9) — never heap-allocate a
+  /// payload in the delta-propagation loop. Wider ranges spill.
+  static constexpr size_t kInlineDoubles = 9;
 
   double count() const { return c_; }
   uint32_t lo() const { return lo_; }
@@ -93,7 +99,10 @@ class RegressionPayload {
   bool operator==(const RegressionPayload& o) const;
 
   size_t ApproxBytes() const {
-    return sizeof(RegressionPayload) + buf_.capacity() * sizeof(double);
+    size_t heap = buf_.capacity() > kInlineDoubles
+                      ? buf_.capacity() * sizeof(double)
+                      : 0;
+    return sizeof(RegressionPayload) + heap;
   }
 
  private:
@@ -115,7 +124,7 @@ class RegressionPayload {
   uint32_t lo_, hi_;
   // Layout: s over [lo, hi) (len doubles), then packed upper triangle of Q
   // (len*(len+1)/2 doubles).
-  std::vector<double> buf_;
+  util::SmallVector<double, kInlineDoubles> buf_;
 };
 
 RegressionPayload Add(const RegressionPayload& a, const RegressionPayload& b);

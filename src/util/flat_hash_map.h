@@ -9,6 +9,21 @@
 
 namespace fivm::util {
 
+/// Shared sizing policy for the open-addressing tables (FlatHashMap and
+/// Relation::SlotIndex): power-of-two capacities with an 8-slot floor and a
+/// 3/4 load factor.
+inline size_t HashCapacityPow2(size_t n) {
+  size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+inline size_t HashReserveCapacity(size_t n) { return n + n / 2 + 1; }
+
+inline bool HashNeedsGrowth(size_t size, size_t capacity) {
+  return capacity == 0 || (size + 1) * 4 >= capacity * 3;
+}
+
 /// Open-addressing hash map with linear probing and backward-shift deletion.
 ///
 /// This is the workhorse index structure behind `Relation` (the paper's
@@ -67,14 +82,24 @@ class FlatHashMap {
     return slots_[idx].value;
   }
 
-  /// Returns a pointer to the value for `key`, or nullptr if absent.
-  V* Find(const K& key) {
+  /// Returns a pointer to the value for `key`, or nullptr if absent. `Q` is
+  /// either `K` itself or a borrowed stand-in (heterogeneous lookup): it
+  /// must hash identically to the `K` it stands for under `Hash`, and
+  /// `K == Q` must be defined consistently (e.g. TupleView probing a
+  /// Tuple-keyed index). Allocation-free.
+  template <typename Q>
+  V* Find(const Q& key) {
     if (size_ == 0) return nullptr;
-    size_t idx = FindSlot(key);
-    return states_[idx] == kFull ? &slots_[idx].value : nullptr;
+    size_t idx = hash_(key) & mask_;
+    while (true) {
+      if (states_[idx] != kFull) return nullptr;
+      if (slots_[idx].key == key) return &slots_[idx].value;
+      idx = (idx + 1) & mask_;
+    }
   }
 
-  const V* Find(const K& key) const {
+  template <typename Q>
+  const V* Find(const Q& key) const {
     return const_cast<FlatHashMap*>(this)->Find(key);
   }
 
@@ -144,8 +169,8 @@ class FlatHashMap {
   }
 
   void Reserve(size_t n) {
-    size_t needed = n + n / 2 + 1;
-    if (needed > capacity_) Rehash(NextPow2(needed));
+    size_t needed = HashReserveCapacity(n);
+    if (needed > capacity_) Rehash(HashCapacityPow2(needed));
   }
 
   /// Approximate heap footprint, for memory accounting in benchmarks. Does
@@ -157,14 +182,8 @@ class FlatHashMap {
  private:
   enum : uint8_t { kEmpty = 0, kFull = 1 };
 
-  static size_t NextPow2(size_t n) {
-    size_t p = 8;
-    while (p < n) p <<= 1;
-    return p;
-  }
-
   void ReserveForInsert() {
-    if (capacity_ == 0 || (size_ + 1) * 4 >= capacity_ * 3) {
+    if (HashNeedsGrowth(size_, capacity_)) {
       Rehash(capacity_ == 0 ? 8 : capacity_ * 2);
     }
   }

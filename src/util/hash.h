@@ -10,14 +10,17 @@ namespace fivm::util {
 
 /// 64-bit finalizer from SplitMix64. Good avalanche behaviour; used as the
 /// scalar hash and as the combiner step for tuple hashing.
-inline uint64_t Mix64(uint64_t x) {
+constexpr uint64_t Mix64(uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
 
-inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+/// Order-dependent, left-fold combiner: tuple hashes are built by folding
+/// value hashes left to right, which is what lets Tuple cache its hash and
+/// extend it incrementally on Append/Concat without re-scanning.
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t value) {
   return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
                        (seed >> 2)));
 }

@@ -7,12 +7,17 @@ namespace {
 
 std::atomic<int64_t> g_current{0};
 std::atomic<int64_t> g_peak{0};
+std::atomic<int64_t> g_alloc_count{0};
 std::atomic<bool> g_enabled{false};
 
 }  // namespace
 
 int64_t MemoryTracker::CurrentBytes() {
   return g_current.load(std::memory_order_relaxed);
+}
+
+int64_t MemoryTracker::AllocationCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
 }
 
 int64_t MemoryTracker::PeakBytes() {
@@ -29,6 +34,7 @@ bool MemoryTracker::enabled() {
 }
 
 void MemoryTracker::RecordAlloc(size_t bytes) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   int64_t cur = g_current.fetch_add(static_cast<int64_t>(bytes),
                                     std::memory_order_relaxed) +
                 static_cast<int64_t>(bytes);

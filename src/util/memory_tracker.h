@@ -16,6 +16,10 @@ class MemoryTracker {
   /// Bytes currently allocated (live).
   static int64_t CurrentBytes();
 
+  /// Total number of allocations since process start. Used by tests to
+  /// assert that hot probe paths stay allocation-free.
+  static int64_t AllocationCount();
+
   /// High-water mark of live bytes since the last ResetPeak().
   static int64_t PeakBytes();
 

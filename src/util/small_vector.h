@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <initializer_list>
 #include <memory>
 #include <new>
@@ -45,7 +46,7 @@ class SmallVector {
 
   SmallVector(const SmallVector& other) {
     reserve(other.size_);
-    for (size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+    CopyAppend(other.data_, other.size_);
   }
 
   SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
@@ -54,7 +55,7 @@ class SmallVector {
     if (this == &other) return *this;
     clear();
     reserve(other.size_);
-    for (size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+    CopyAppend(other.data_, other.size_);
     return *this;
   }
 
@@ -165,15 +166,31 @@ class SmallVector {
     return data_ == reinterpret_cast<const T*>(inline_storage_);
   }
 
+  // Bulk copy into the tail; requires reserved capacity. memcpy for
+  // trivially copyable element types (e.g. Value), which is the hot path of
+  // tuple key copies.
+  void CopyAppend(const T* src, size_t n) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      std::memcpy(data_ + size_, src, n * sizeof(T));
+      size_ += n;
+    } else {
+      for (size_t i = 0; i < n; ++i) push_back(src[i]);
+    }
+  }
+
   void Grow(size_t new_capacity) {
     new_capacity = std::max<size_t>(new_capacity, N ? N : 1);
     if (new_capacity <= capacity_) return;
     T* new_data =
         static_cast<T*>(::operator new(new_capacity * sizeof(T),
                                        std::align_val_t(alignof(T))));
-    for (size_t i = 0; i < size_; ++i) {
-      new (new_data + i) T(std::move(data_[i]));
-      data_[i].~T();
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      std::memcpy(new_data, data_, size_ * sizeof(T));
+    } else {
+      for (size_t i = 0; i < size_; ++i) {
+        new (new_data + i) T(std::move(data_[i]));
+        data_[i].~T();
+      }
     }
     if (!IsInline()) {
       ::operator delete(data_, std::align_val_t(alignof(T)));
@@ -196,9 +213,13 @@ class SmallVector {
       data_ = reinterpret_cast<T*>(inline_storage_);
       capacity_ = N;
       size_ = 0;
-      for (size_t i = 0; i < other.size_; ++i) {
-        new (data_ + i) T(std::move(other.data_[i]));
-        other.data_[i].~T();
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+      } else {
+        for (size_t i = 0; i < other.size_; ++i) {
+          new (data_ + i) T(std::move(other.data_[i]));
+          other.data_[i].~T();
+        }
       }
       size_ = other.size_;
       other.size_ = 0;
