@@ -31,6 +31,11 @@ SERIES_ROW = re.compile(
 TIMEOUT_ROW = re.compile(
     r"^(\S[^ ]*(?: \S+)*?)\s+TIMEOUT after ([0-9.]+)s at "
     r"fraction=([0-9.]+) \((\d+) tuples,\s*([0-9.]+) t/s\)")
+# bench_batch summary lines:
+#   SPEEDUP fig13: b1000 t4 vs per-tuple single-thread = 1.44x
+#   VERIFY fig13: parallel(b1000,t4) stores == sequential ...
+SPEEDUP_ROW = re.compile(r"^SPEEDUP (\S+): (.*) = ([0-9.]+)x")
+VERIFY_ROW = re.compile(r"^VERIFY (\S+): .* (==|!=) ")
 
 
 def parse_series(path):
@@ -54,6 +59,19 @@ def parse_series(path):
                     "tuples": int(m.group(4)),
                     "throughput_tuples_per_sec": float(m.group(5)),
                     "timeout_after_sec": float(m.group(2)),
+                }
+                continue
+            m = SPEEDUP_ROW.match(line)
+            if m:
+                out["SPEEDUP " + m.group(1)] = {
+                    "comparison": m.group(2),
+                    "speedup": float(m.group(3)),
+                }
+                continue
+            m = VERIFY_ROW.match(line)
+            if m:
+                out["VERIFY " + m.group(1)] = {
+                    "stores_equal": m.group(2) == "==",
                 }
     return out
 

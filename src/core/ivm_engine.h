@@ -99,7 +99,7 @@ class IvmEngine {
     }
 
     int leaf = tree_->LeafOfRelation(relation);
-    if (tree_->node(leaf).materialized) AbsorbInto(stores_[leaf], delta);
+    if (tree_->node(leaf).materialized) AbsorbStoreDelta(leaf, delta);
     PropagateUp(leaf,
                 ReorderIfNeeded(std::move(delta),
                                 tree_->node(leaf).out_schema));
@@ -226,6 +226,128 @@ class IvmEngine {
     }
   }
 
+  /// True when updates to `relation` also fire indicator-leaf propagations.
+  /// Indicator maintenance is stateful (per-key support counts transition
+  /// between zero and non-zero), hence not linear in the delta: such updates
+  /// must be applied sequentially, never shard-parallel.
+  bool HasIndicatorLeaves(int relation) const {
+    return !tree_->IndicatorLeavesOfRelation(relation).empty();
+  }
+
+  /// The join key on which the first sibling join of `relation`'s
+  /// leaf-to-root path matches delta tuples — the natural partitioning key
+  /// for shard-parallel batch propagation (src/exec/parallel_executor.h).
+  /// Restricted to variables of the leaf's out-schema (a later join's key
+  /// may mention variables introduced by an earlier sibling, which a
+  /// partitioner over leaf tuples cannot see); falls back to the full
+  /// out-schema when no sibling join shares a leaf variable.
+  Schema PropagationJoinKey(int relation) const {
+    int leaf = tree_->LeafOfRelation(relation);
+    const Schema& leaf_schema = tree_->node(leaf).out_schema;
+    Schema key;
+    WalkPropagationJoins(leaf, [&](int /*sibling*/, const Schema& common) {
+      if (key.empty()) {
+        Schema usable = common.Intersect(leaf_schema);
+        if (!usable.empty()) key = std::move(usable);
+      }
+    });
+    if (key.empty()) key = leaf_schema;
+    return key;
+  }
+
+  /// Builds every sibling-store secondary index that propagation from
+  /// `relation`'s leaf probes. Index construction is lazy and not
+  /// thread-safe, so concurrent PropagateDelta callers must prewarm first;
+  /// after this call the parallel shards only perform read-only probes.
+  /// Kept in lockstep with JoinAndMarginalize's probe strategy: empty join
+  /// keys scan (no index) and full-key joins probe the primary index, so
+  /// only proper-subset keys need a secondary index.
+  void PrewarmPropagationIndexes(int relation) const {
+    WalkPropagationJoins(
+        tree_->LeafOfRelation(relation),
+        [&](int sibling, const Schema& common) {
+          if (!common.empty() &&
+              common.size() != stores_[sibling].schema().size()) {
+            stores_[sibling].IndexOn(common);
+          }
+        });
+  }
+
+  /// Adds a store-schema delta into the store of view `node` — also the
+  /// merge entry point of the parallel executor: staged shard deltas are
+  /// absorbed in shard order, which keeps the final store state
+  /// deterministic and equal to sequential application. Absorption stays
+  /// in arrival order; see the clustering note in relation_ops.h.
+  void AbsorbStoreDelta(int node, Relation<Ring>&& delta) {
+    AbsorbInto(stores_[node], std::move(delta));
+  }
+  void AbsorbStoreDelta(int node, const Relation<Ring>& delta) {
+    AbsorbInto(stores_[node], delta);
+  }
+
+  /// Propagates a delta from (just above) leaf `from` toward the root,
+  /// handing `store_delta(node, std::move(delta))` the store delta of every
+  /// materialized node on the path instead of writing the stores directly.
+  /// The sink takes ownership (no copy is staged) and must return a stable
+  /// reference to the relation it stored; propagation continues reading
+  /// from that reference. `cur` must be in the leaf's out-schema layout.
+  ///
+  /// The method only *reads* engine state (sibling stores are probed,
+  /// never written), so several shards of one batch may run it
+  /// concurrently after PrewarmPropagationIndexes; propagation is linear
+  /// in the delta, so the per-shard results merge by ⊎ into exactly the
+  /// sequential result.
+  template <typename StoreDeltaSink>
+  void PropagateDelta(int from, Relation<Ring> cur,
+                      StoreDeltaSink&& store_delta) const {
+    Relation<Ring> owned = std::move(cur);
+    const Relation<Ring>* left = &owned;
+    int prev = from;
+    int idx = tree_->node(from).parent;
+    while (idx >= 0) {
+      if (left->empty()) return;  // nothing changes upstream
+      const ViewTree::Node& n = tree_->node(idx);
+      Schema store_marg = n.marg_vars.Minus(n.retained_vars);
+      int last_sibling = -1;
+      for (int c : n.children) {
+        if (c != prev) last_sibling = c;
+      }
+      for (int c : n.children) {
+        if (c == prev) continue;
+        assert(tree_->node(c).materialized &&
+               "sibling view not materialized for this updatable set");
+        // Fuse the store-level marginalization into the final sibling join
+        // (as EvalOut does): one less materialized intermediate per batch,
+        // and the fused call more often qualifies for the single-emit
+        // left-key fast path of JoinAndMarginalize.
+        Schema marg = tree_->node(c).retained_vars;
+        if (c == last_sibling && !store_marg.empty()) {
+          marg = marg.Union(store_marg);
+          store_marg = Schema{};
+        }
+        owned = JoinAndMarginalize(*left, stores_[c], marg, lifts_);
+        left = &owned;
+      }
+      if (!store_marg.empty()) {
+        owned = Marginalize(*left, store_marg, lifts_);
+        left = &owned;
+      }
+      if (n.materialized) {
+        // Rare: two materialized nodes with no join or marginalization in
+        // between leave `owned` already surrendered; re-materialize it.
+        if (left != &owned) owned = *left;
+        left = &store_delta(idx, std::move(owned));
+      }
+      Schema out_marg = n.marg_vars.Intersect(n.retained_vars);
+      if (!out_marg.empty()) {
+        owned = Marginalize(*left, out_marg, lifts_);
+        left = &owned;
+      }
+      prev = idx;
+      idx = n.parent;
+    }
+  }
+
   /// Memory footprint of all materialized stores and indicator counts.
   size_t TotalBytes() const {
     size_t bytes = 0;
@@ -268,30 +390,36 @@ class IvmEngine {
     return tree_->query().relation(relation).schema;
   }
 
-  /// Takes and returns by value: when the schemas already match, the input
-  /// moves straight through (no copy); otherwise keys are re-projected and
-  /// payloads moved into the re-ordered relation.
   static Relation<Ring> ReorderIfNeeded(Relation<Ring> rel,
                                         const Schema& target) {
-    if (rel.schema() == target) return rel;
-    Relation<Ring> out(target);
-    out.Reserve(rel.size());
-    auto pos = rel.schema().PositionsOf(target);
-    for (auto& e : rel.TakeEntries()) {
-      if (Ring::IsZero(e.payload)) continue;
-      out.Add(e.key.Project(pos), std::move(e.payload));
-    }
-    return out;
+    return Reordered(std::move(rel), target);
   }
 
   /// Propagates a delta from (just above) `from` to the root, joining with
   /// sibling stores, marginalizing per node, and refreshing materialized
   /// stores. `cur` is the out-value delta of node `from`.
   void PropagateUp(int from, Relation<Ring> cur) {
+    Relation<Ring> held;
+    PropagateDelta(from, std::move(cur),
+                   [this, &held](int idx, Relation<Ring>&& d)
+                       -> const Relation<Ring>& {
+                     held = std::move(d);
+                     AbsorbStoreDelta(idx, held);
+                     return held;
+                   });
+  }
+
+  /// Walks the leaf-to-root path of `from`, replaying PropagateDelta's
+  /// schema algebra without touching any data: `fn(sibling, common)` fires
+  /// for every sibling join with the join key the propagation will probe on
+  /// (empty for Cartesian steps). Keeping this in lockstep with
+  /// PropagateDelta is what makes index prewarming exact.
+  template <typename Fn>
+  void WalkPropagationJoins(int from, Fn&& fn) const {
+    Schema cur = tree_->node(from).out_schema;
     int prev = from;
     int idx = tree_->node(from).parent;
     while (idx >= 0) {
-      if (cur.empty()) return;  // nothing changes upstream
       const ViewTree::Node& n = tree_->node(idx);
       Schema store_marg = n.marg_vars.Minus(n.retained_vars);
       int last_sibling = -1;
@@ -300,23 +428,20 @@ class IvmEngine {
       }
       for (int c : n.children) {
         if (c == prev) continue;
-        assert(tree_->node(c).materialized &&
-               "sibling view not materialized for this updatable set");
-        // Fuse the store-level marginalization into the final sibling join
-        // (as EvalOut does): one less materialized intermediate per batch,
-        // and the fused call more often qualifies for the single-emit
-        // left-key fast path of JoinAndMarginalize.
+        const Schema& sib = stores_[c].schema();
+        Schema common = cur.Intersect(sib);
+        fn(c, common);
         Schema marg = tree_->node(c).retained_vars;
         if (c == last_sibling && !store_marg.empty()) {
           marg = marg.Union(store_marg);
           store_marg = Schema{};
         }
-        cur = JoinAndMarginalize(cur, stores_[c], marg, lifts_);
+        // JoinAndMarginalize output schema: (cur ∪ right-private) \ marg.
+        cur = cur.Union(sib.Minus(common)).Minus(marg);
       }
-      if (!store_marg.empty()) cur = Marginalize(cur, store_marg, lifts_);
-      if (n.materialized) AbsorbInto(stores_[idx], cur);
+      if (!store_marg.empty()) cur = cur.Minus(store_marg);
       Schema out_marg = n.marg_vars.Intersect(n.retained_vars);
-      if (!out_marg.empty()) cur = Marginalize(cur, out_marg, lifts_);
+      if (!out_marg.empty()) cur = cur.Minus(out_marg);
       prev = idx;
       idx = n.parent;
     }

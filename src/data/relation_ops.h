@@ -1,6 +1,7 @@
 #ifndef FIVM_DATA_RELATION_OPS_H_
 #define FIVM_DATA_RELATION_OPS_H_
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -50,6 +51,9 @@ Relation<Ring> Marginalize(const Relation<Ring>& rel, const Schema& marg,
   using Element = typename Ring::Element;
   Schema out_schema = rel.schema().Minus(marg);
   Relation<Ring> out(out_schema);
+  // At most one output key per input key; presizing spares batched deltas
+  // the doubling-growth entry copies and index rehashes.
+  out.Reserve(rel.size());
   auto out_positions = rel.schema().PositionsOf(out_schema);
 
   // Positions of marginalized vars that carry non-trivial liftings.
@@ -101,6 +105,20 @@ Relation<Ring> Join(const Relation<Ring>& left, const Relation<Ring>& right) {
     left.ForEach([&](const Tuple& lk, const Element& lp) {
       right.ForEach(
           [&](const Tuple& rk, const Element& rp) { emit(lk, lp, rk, rp); });
+    });
+    return out;
+  }
+
+  if (common.size() == right.schema().size()) {
+    // The join key covers the whole right schema: at most one match per
+    // left entry, found through right's primary index. No secondary index
+    // is built (or maintained by later absorbs into `right`), and the
+    // output schema equals left's, so keys pass through unchanged.
+    auto right_key_pos = left.schema().PositionsOf(right.schema());
+    out.Reserve(left.size());
+    left.ForEach([&](const Tuple& lk, const Element& lp) {
+      const Element* rp = right.Find(TupleView(lk, right_key_pos));
+      if (rp != nullptr) out.Add(lk, Ring::Mul(lp, *rp));
     });
     return out;
   }
@@ -202,8 +220,29 @@ Relation<Ring> JoinAndMarginalize(const Relation<Ring>& left,
     return out;
   }
 
+  if (common.size() == right.schema().size()) {
+    // Full-key probe: the join key covers the whole right schema, so each
+    // left entry has at most one partner, located through right's primary
+    // index — no secondary index to build here or to maintain on every
+    // later absorb into `right`. Every output and lifted variable then
+    // lives on the left (out_src/lifted prefer the left position), so the
+    // right key is never dereferenced and `lk` stands in for it.
+    auto right_key_pos = left.schema().PositionsOf(right.schema());
+    out.Reserve(left.size());
+    left.ForEach([&](const Tuple& lk, const Element& lp) {
+      const Element* rp = right.Find(TupleView(lk, right_key_pos));
+      if (rp == nullptr) return;
+      scratch.Clear();
+      for (const auto& [from_left, pos] : out_src) scratch.Append(lk[pos]);
+      out.Add(scratch, term(lk, lp, lk, *rp));
+    });
+    return out;
+  }
+
   const auto& right_index = right.IndexOn(common);
   if (left_only_key) {
+    // One output key per left entry at most.
+    out.Reserve(left.size());
     left.ForEach([&](const Tuple& lk, const Element& lp) {
       const auto* slots = right_index.Probe(TupleView(lk, left_common));
       if (slots == nullptr) return;
@@ -227,6 +266,7 @@ Relation<Ring> JoinAndMarginalize(const Relation<Ring>& left,
     return out;
   }
 
+  out.Reserve(left.size());  // floor; match fan-out grows beyond it
   left.ForEach([&](const Tuple& lk, const Element& lp) {
     const auto* slots = right_index.Probe(TupleView(lk, left_common));
     if (slots == nullptr) return;
@@ -236,6 +276,26 @@ Relation<Ring> JoinAndMarginalize(const Relation<Ring>& left,
       emit(lk, lp, e.key, e.payload);
     }
   });
+  return out;
+}
+
+/// Returns `rel` with keys re-projected to `target`'s column layout
+/// (schemas must be equal as sets), consuming the input: when the layout
+/// already matches, the relation moves straight through; otherwise keys
+/// are projected and payloads moved, with zero-payload tombstones dropped.
+/// Shared by the engine's delta intake, DeltaBatcher::Flush, and the
+/// parallel executor.
+template <typename Ring>
+Relation<Ring> Reordered(Relation<Ring>&& rel, const Schema& target) {
+  assert(rel.schema().SameSet(target));
+  if (rel.schema() == target) return std::move(rel);
+  Relation<Ring> out(target);
+  out.Reserve(rel.size());
+  auto pos = rel.schema().PositionsOf(target);
+  for (auto& e : rel.TakeEntries()) {
+    if (Ring::IsZero(e.payload)) continue;
+    out.Add(e.key.Project(pos), std::move(e.payload));
+  }
   return out;
 }
 
@@ -277,6 +337,34 @@ void AbsorbInto(Relation<Ring>& store, Relation<Ring>&& delta) {
     store.Add(e.key.Project(pos), std::move(e.payload));
   }
 }
+
+/// True when `a` and `b` hold the same key → payload mapping: schemas equal
+/// as sets, same live-key count, and per key the payloads agree as ring
+/// values (a − b is the additive identity, which also tolerates
+/// representation differences such as zero-padded aggregate ranges).
+template <typename Ring>
+bool ContentEquals(const Relation<Ring>& a, const Relation<Ring>& b) {
+  if (!a.schema().SameSet(b.schema())) return false;
+  if (a.size() != b.size()) return false;
+  auto pos = a.schema().PositionsOf(b.schema());
+  bool equal = true;
+  a.ForEach([&](const Tuple& k, const typename Ring::Element& p) {
+    if (!equal) return;
+    const typename Ring::Element* q = b.Find(TupleView(k, pos));
+    if (q == nullptr || !Ring::IsZero(Ring::Add(p, Ring::Neg(*q)))) {
+      equal = false;
+    }
+  });
+  return equal;
+}
+
+// Measured dead end, kept as a warning: absorbing a large delta in
+// ascending key-hash order ("sweep the index instead of random-probing
+// it") roughly DOUBLED absorb cost on the fig13 stores. Linear probing
+// degenerates under sorted bulk inserts — consecutive inserts land on
+// adjacent home cells and build long collision runs (primary clustering).
+// Absorbs must stay in arrival order unless the index moves to a
+// clustering-resistant scheme (robin hood / quadratic).
 
 /// Converts a relation between rings by mapping payloads through `fn`.
 template <typename ToRing, typename FromRing, typename Fn>

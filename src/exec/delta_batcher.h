@@ -1,0 +1,140 @@
+#ifndef FIVM_EXEC_DELTA_BATCHER_H_
+#define FIVM_EXEC_DELTA_BATCHER_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/core/view_tree.h"
+#include "src/data/relation.h"
+#include "src/data/relation_ops.h"
+#include "src/data/tuple.h"
+#include "src/rings/ring.h"
+
+namespace fivm::exec {
+
+/// Ingestion buffer in front of the IVM engine: accumulates single-tuple
+/// updates per relation, coalescing identical keys by ring addition as they
+/// arrive (an insert/delete pair of the same key cancels before the engine
+/// ever sees it), and emits one delta relation per touched relation,
+/// reordered to the engine's leaf schema once per batch rather than once
+/// per tuple. One coalesced leaf-to-root propagation then amortizes the
+/// join/marginalize work the per-tuple path repeats per update.
+///
+/// Cross-relation ordering inside one batch window collapses to first-touch
+/// order: Flush() emits relations in the order they first received an
+/// update since the previous flush. Per-relation, coalescing makes the
+/// emitted delta independent of arrival order (ring addition commutes).
+template <typename Ring>
+  requires RingPolicy<Ring>
+class DeltaBatcher {
+ public:
+  using Element = typename Ring::Element;
+
+  struct Batch {
+    int relation;
+    Relation<Ring> delta;  // keyed in the leaf's out-schema layout
+  };
+
+  /// `tree` must outlive the batcher. `capacity` is the number of buffered
+  /// updates (counted pre-coalescing) after which Full() turns true and the
+  /// caller should Flush(); 0 means "never full" (manual flushing only).
+  DeltaBatcher(const ViewTree* tree, size_t capacity)
+      : tree_(tree),
+        capacity_(capacity),
+        accums_(tree->query().relation_count()),
+        input_layouts_(tree->query().relation_count()),
+        in_batch_(tree->query().relation_count(), 0) {}
+
+  size_t capacity() const { return capacity_; }
+
+  /// Declares the column layout in which `relation`'s updates arrive (e.g.
+  /// a source feed ordered differently from the query relation). Keys are
+  /// coalesced in the arrival layout; Flush() projects each *coalesced* key
+  /// to the leaf schema once, instead of re-ordering per pushed tuple.
+  /// `schema` must cover the same variable set as the query relation, and
+  /// the relation's accumulator must be empty. The layout sticks across
+  /// flushes.
+  void SetInputSchema(int relation, Schema schema) {
+    assert(schema.SameSet(tree_->query().relation(relation).schema));
+    assert(!in_batch_[relation] &&
+           "cannot change the input layout of a non-empty accumulator");
+    input_layouts_[relation] = std::move(schema);
+    accums_[relation] = Relation<Ring>();
+  }
+
+  /// Updates buffered since the last flush, before coalescing.
+  size_t pending_updates() const { return pending_updates_; }
+
+  bool Full() const { return capacity_ > 0 && pending_updates_ >= capacity_; }
+
+  /// Buffers key → payload into `relation`'s accumulator. The key uses the
+  /// query relation's schema layout, or the layout declared with
+  /// SetInputSchema.
+  void Push(int relation, const Tuple& key, Element payload) {
+    Accumulator(relation).Add(key, std::move(payload));
+    ++pending_updates_;
+  }
+
+  void PushInsert(int relation, const Tuple& key) {
+    Push(relation, key, Ring::One());
+  }
+
+  void PushDelete(int relation, const Tuple& key) {
+    Push(relation, key, Ring::Neg(Ring::One()));
+  }
+
+  void PushInserts(int relation, const std::vector<Tuple>& keys) {
+    Relation<Ring>& acc = Accumulator(relation);
+    for (const Tuple& k : keys) acc.Add(k, Ring::One());
+    pending_updates_ += keys.size();
+  }
+
+  /// Emits the coalesced per-relation deltas (first-touch order), dropping
+  /// keys whose payloads cancelled to zero and reordering each delta to the
+  /// engine's leaf out-schema in a single pass. Resets the batcher.
+  std::vector<Batch> Flush() {
+    std::vector<Batch> out;
+    out.reserve(touched_.size());
+    for (int r : touched_) {
+      Relation<Ring>& acc = accums_[r];
+      if (!acc.empty()) {
+        const Schema& target =
+            tree_->node(tree_->LeafOfRelation(r)).out_schema;
+        out.push_back(Batch{r, Reordered(std::move(acc), target)});
+      }
+      accums_[r] = Relation<Ring>();
+      in_batch_[r] = 0;
+    }
+    touched_.clear();
+    pending_updates_ = 0;
+    return out;
+  }
+
+ private:
+  Relation<Ring>& Accumulator(int relation) {
+    if (!in_batch_[relation]) {
+      const Schema& layout = input_layouts_[relation].empty()
+                                 ? tree_->query().relation(relation).schema
+                                 : input_layouts_[relation];
+      accums_[relation] = Relation<Ring>(layout);
+      in_batch_[relation] = 1;
+      touched_.push_back(relation);
+    }
+    return accums_[relation];
+  }
+
+  const ViewTree* tree_;
+  size_t capacity_;
+  std::vector<Relation<Ring>> accums_;
+  /// Per-relation arrival layout; empty = the query relation's schema.
+  std::vector<Schema> input_layouts_;
+  std::vector<char> in_batch_;
+  std::vector<int> touched_;  // first-touch emission order
+  size_t pending_updates_ = 0;
+};
+
+}  // namespace fivm::exec
+
+#endif  // FIVM_EXEC_DELTA_BATCHER_H_

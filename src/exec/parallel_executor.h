@@ -1,0 +1,169 @@
+#ifndef FIVM_EXEC_PARALLEL_EXECUTOR_H_
+#define FIVM_EXEC_PARALLEL_EXECUTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/ivm_engine.h"
+#include "src/data/relation.h"
+#include "src/data/relation_ops.h"
+#include "src/data/tuple.h"
+#include "src/exec/delta_batcher.h"
+#include "src/exec/thread_pool.h"
+
+namespace fivm::exec {
+
+/// Applies coalesced delta batches to an IvmEngine, hash-partitioning each
+/// batch on the leaf's propagation join key across a worker pool. Every
+/// shard runs the ordinary leaf-to-root propagation against the sibling
+/// stores — which the propagation only reads — staging its per-store deltas
+/// locally; the staged deltas are then merged into the shared stores in
+/// shard order on the calling thread.
+///
+/// Correctness rests on two properties:
+///  - Propagation is linear in the delta (it joins the delta against
+///    sibling stores that the update does not modify), so the shard
+///    results merged by ⊎ equal sequential application of the whole batch.
+///  - The shard count is fixed by the pool and the partitioner hashes only
+///    key values, so the merge order — and with it the final store state —
+///    is deterministic, independent of thread scheduling.
+///
+/// Updates that fire indicator propagations are stateful (support counts)
+/// and automatically fall back to the sequential engine path, as do batches
+/// too small to amortize the fork/merge overhead.
+template <typename Ring>
+  requires RingPolicy<Ring>
+class ParallelExecutor {
+ public:
+  using Element = typename Ring::Element;
+
+  /// Below this many coalesced delta keys a batch is applied sequentially:
+  /// the propagation is cheaper than partitioning plus task dispatch.
+  static constexpr size_t kMinParallelKeys = 64;
+
+  struct Options {
+    /// Number of shards a batch is split into. 0 = auto: the pool size
+    /// capped by the hardware's concurrency — oversharding beyond physical
+    /// cores pays staging and merge overhead with no wall-clock gain.
+    /// Tests pin this explicitly to exercise multi-shard execution on any
+    /// machine.
+    size_t shards = 0;
+  };
+
+  /// `engine` and `pool` must outlive the executor.
+  ParallelExecutor(IvmEngine<Ring>* engine, ThreadPool* pool,
+                   Options options = {})
+      : engine_(engine), pool_(pool), options_(options) {}
+
+  size_t ShardCount() const {
+    if (options_.shards > 0) return options_.shards;
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    return std::min(pool_->thread_count(), hw);
+  }
+
+  /// Applies one coalesced batch to `relation`. The delta may be keyed in
+  /// the query relation's layout or the leaf's out-schema layout; the final
+  /// store contents equal engine->ApplyDelta(relation, delta).
+  void ApplyBatch(int relation, Relation<Ring> delta) {
+    if (delta.empty()) return;
+    const size_t shards = ShardCount();
+    if (shards <= 1 || delta.size() < kMinParallelKeys ||
+        engine_->HasIndicatorLeaves(relation)) {
+      engine_->ApplyDelta(relation, std::move(delta));
+      return;
+    }
+
+    const ViewTree& tree = engine_->tree();
+    const int leaf = tree.LeafOfRelation(relation);
+    const Schema& leaf_schema = tree.node(leaf).out_schema;
+    delta = Reordered(std::move(delta), leaf_schema);
+
+    // The leaf store absorbs the whole batch up front, exactly as the
+    // sequential trigger does; propagation never reads the leaf store.
+    if (tree.node(leaf).materialized) {
+      engine_->AbsorbStoreDelta(leaf, delta);
+    }
+
+    // Partition on the first sibling join's key so entries sharing a join
+    // partner land in the same shard; any partition is correct
+    // (linearity), this one keeps each shard's probe working set disjoint.
+    Schema part_key = engine_->PropagationJoinKey(relation);
+    auto part_pos = leaf_schema.PositionsOf(part_key);
+    std::vector<Relation<Ring>> shard_delta;
+    shard_delta.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      shard_delta.emplace_back(leaf_schema);
+    }
+    for (auto& e : delta.TakeEntries()) {
+      if (Ring::IsZero(e.payload)) continue;
+      size_t s = TupleView(e.key, part_pos).Hash() % shards;
+      shard_delta[s].Add(std::move(e.key), std::move(e.payload));
+    }
+
+    // Lazy secondary-index construction is not thread-safe; build every
+    // index the shards will probe before forking.
+    engine_->PrewarmPropagationIndexes(relation);
+
+    std::vector<std::vector<std::pair<int, Relation<Ring>>>> staged(shards);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      tasks.push_back([this, leaf, s, &shard_delta, &staged] {
+        auto& out = staged[s];
+        // The sink takes ownership of each store delta (no copy) and the
+        // propagation continues reading from the staged slot.
+        engine_->PropagateDelta(
+            leaf, std::move(shard_delta[s]),
+            [&out](int node, Relation<Ring>&& d) -> const Relation<Ring>& {
+              out.emplace_back(node, std::move(d));
+              return out.back().second;
+            });
+      });
+    }
+    pool_->RunTasks(std::move(tasks));
+
+    // Deterministic shard-ordered merge into the shared stores (large
+    // staged deltas are absorbed in key-hash order, see AbsorbStoreDelta).
+    for (size_t s = 0; s < shards; ++s) {
+      for (auto& [node, d] : staged[s]) {
+        engine_->AbsorbStoreDelta(node, std::move(d));
+      }
+    }
+  }
+
+  /// Flushes `batcher` and applies every emitted batch in emission order.
+  void Drain(DeltaBatcher<Ring>& batcher) {
+    for (auto& b : batcher.Flush()) {
+      ApplyBatch(b.relation, std::move(b.delta));
+    }
+  }
+
+ private:
+  IvmEngine<Ring>* engine_;
+  ThreadPool* pool_;
+  Options options_;
+};
+
+/// True when the two engines (over the same view tree) hold content-equal
+/// materialized stores — the invariant the parallel executor preserves
+/// relative to sequential per-tuple application.
+template <typename Ring>
+bool StoresContentEqual(const IvmEngine<Ring>& a, const IvmEngine<Ring>& b) {
+  const ViewTree& tree = a.tree();
+  for (size_t i = 0; i < tree.nodes().size(); ++i) {
+    int node = static_cast<int>(i);
+    if (!tree.node(node).materialized) continue;
+    if (!ContentEquals(a.store(node), b.store(node))) return false;
+  }
+  return true;
+}
+
+}  // namespace fivm::exec
+
+#endif  // FIVM_EXEC_PARALLEL_EXECUTOR_H_

@@ -50,7 +50,17 @@ class RegressionPayload {
   /// 3 slots (9 doubles), so degree-3 workloads — lifts (2), pairwise
   /// products (5), full triangle cofactors (9) — never heap-allocate a
   /// payload in the delta-propagation loop. Wider ranges spill.
-  static constexpr size_t kInlineDoubles = 9;
+  ///
+  /// Overridable at configure time (-DFIVM_REGRESSION_INLINE_DOUBLES=N)
+  /// for cache-layout experiments: inline payloads make Relation entries
+  /// ~112 bytes heavier, which the fig13 "F-IVM ONE" point-lookup walk
+  /// over a ~300 MB precomputed store pays for in cache misses, while
+  /// propagation-heavy workloads profit from allocation-free payload
+  /// arithmetic (see ROADMAP, "F-IVM ONE regression").
+#ifndef FIVM_REGRESSION_INLINE_DOUBLES
+#define FIVM_REGRESSION_INLINE_DOUBLES 9
+#endif
+  static constexpr size_t kInlineDoubles = FIVM_REGRESSION_INLINE_DOUBLES;
 
   double count() const { return c_; }
   uint32_t lo() const { return lo_; }

@@ -1,5 +1,7 @@
 #include "src/workloads/stream.h"
 
+#include <algorithm>
+
 namespace fivm::workloads {
 
 UpdateStream UpdateStream::RoundRobin(
@@ -31,6 +33,28 @@ UpdateStream UpdateStream::SingleRelation(int relation,
   std::vector<std::vector<Tuple>> per_relation(relation + 1);
   per_relation[relation] = tuples;
   return RoundRobin(per_relation, batch_size);
+}
+
+UpdateStream UpdateStream::Rebatched(size_t batch_size) const {
+  if (batch_size == 0) batch_size = 1;
+  UpdateStream out;
+  for (const Batch& b : batches_) {
+    size_t offset = 0;
+    while (offset < b.tuples.size()) {
+      if (out.batches_.empty() || out.batches_.back().relation != b.relation ||
+          out.batches_.back().tuples.size() >= batch_size) {
+        out.batches_.push_back(Batch{b.relation, {}});
+      }
+      Batch& cur = out.batches_.back();
+      size_t take = std::min(batch_size - cur.tuples.size(),
+                             b.tuples.size() - offset);
+      cur.tuples.insert(cur.tuples.end(), b.tuples.begin() + offset,
+                        b.tuples.begin() + offset + take);
+      offset += take;
+    }
+  }
+  out.total_tuples_ = total_tuples_;
+  return out;
 }
 
 }  // namespace fivm::workloads

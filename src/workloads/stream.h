@@ -30,6 +30,14 @@ class UpdateStream {
                                      const std::vector<Tuple>& tuples,
                                      size_t batch_size);
 
+  /// Re-groups this stream into batches of at most `batch_size` tuples
+  /// (0 is treated as 1), preserving tuple order and cutting a batch
+  /// whenever the target relation changes. bench_batch derives its
+  /// per-tuple baseline stream this way; shrinking a canonical stream's
+  /// granularity keeps the exact tuple order comparable across batch
+  /// sizes.
+  UpdateStream Rebatched(size_t batch_size) const;
+
   const std::vector<Batch>& batches() const { return batches_; }
   size_t total_tuples() const { return total_tuples_; }
 

@@ -179,6 +179,44 @@ TEST(StreamTest, SingleRelationStream) {
   for (const auto& b : stream.batches()) EXPECT_EQ(b.relation, 2);
 }
 
+TEST(StreamTest, RebatchedPreservesOrderAndCutsAtRelationChanges) {
+  std::vector<std::vector<Tuple>> rels(2);
+  for (int64_t i = 0; i < 5; ++i) rels[0].push_back(Tuple::Ints({i}));
+  for (int64_t i = 0; i < 3; ++i) rels[1].push_back(Tuple::Ints({100 + i}));
+  auto stream = UpdateStream::RoundRobin(rels, 2);
+
+  // Tuple-granular: one batch per tuple, same order as the source.
+  auto per_tuple = stream.Rebatched(1);
+  ASSERT_EQ(per_tuple.batches().size(), 8u);
+  EXPECT_EQ(per_tuple.total_tuples(), 8u);
+  EXPECT_EQ(per_tuple.batches()[0].tuples[0], Tuple::Ints({0}));
+  EXPECT_EQ(per_tuple.batches()[2].relation, 1);
+  EXPECT_EQ(per_tuple.batches()[2].tuples[0], Tuple::Ints({100}));
+
+  // Growing the granularity merges adjacent same-relation batches but
+  // never crosses a relation change: R0[0,1], R1[100,101], R0[2,3],
+  // R1[102], R0[4] regrouped at 3 → R0[0,1], R1[100,101], R0[2,3],
+  // R1[102], R0[4] (source batches of 2 can only merge up to the cut).
+  auto coarser = stream.Rebatched(3);
+  size_t tuples = 0;
+  int prev_relation = -1;
+  for (size_t i = 0; i < coarser.batches().size(); ++i) {
+    const auto& b = coarser.batches()[i];
+    EXPECT_LE(b.tuples.size(), 3u);
+    if (static_cast<int>(i) > 0 && b.relation == prev_relation) {
+      // A same-relation successor only exists when the previous batch
+      // was full.
+      EXPECT_EQ(coarser.batches()[i - 1].tuples.size(), 3u);
+    }
+    prev_relation = b.relation;
+    tuples += b.tuples.size();
+  }
+  EXPECT_EQ(tuples, 8u);
+
+  // batch_size 0 is clamped to 1 instead of looping forever.
+  EXPECT_EQ(stream.Rebatched(0).batches().size(), 8u);
+}
+
 TEST(StreamTest, ToDeltaAggregatesDuplicates) {
   Catalog catalog;
   Query query(&catalog);
