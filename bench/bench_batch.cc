@@ -72,7 +72,8 @@ double RunConfig(const std::string& name, Scenario::Instance& inst,
                  size_t threads) {
   exec::ThreadPool pool(threads);
   exec::ParallelExecutor<RegressionRing> executor(inst.engine.get(), &pool);
-  exec::DeltaBatcher<RegressionRing> batcher(inst.tree.get(), batch_size);
+  exec::DeltaBatcher<RegressionRing> batcher(&inst.engine->plans(),
+                                             batch_size);
 
   const double budget = bench::BudgetSeconds();
   const uint64_t total = stream.total_tuples();

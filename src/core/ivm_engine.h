@@ -8,8 +8,10 @@
 
 #include "src/core/query.h"
 #include "src/core/view_tree.h"
+#include "src/data/op_specs.h"
 #include "src/data/relation.h"
 #include "src/data/relation_ops.h"
+#include "src/plan/propagation_plan.h"
 #include "src/rings/lifting.h"
 #include "src/rings/ring.h"
 
@@ -21,11 +23,23 @@ namespace fivm {
 /// the single leaf-to-root path of R, joining each delta with the
 /// materialized sibling views (Figure 4).
 ///
+/// Propagation is *compiled*, DBToaster-style: at construction the engine
+/// compiles one plan::PropagationPlan per leaf (src/plan/) — the full
+/// leaf-to-root route as a flat vector of resolved steps with precomputed
+/// schemas, position maps, per-join probe strategy, fused marginalization
+/// placement and store-absorb points. PropagateDelta executes those steps;
+/// PrewarmPropagationIndexes and PropagationJoinKey read the same compiled
+/// plan, so execution, prewarming and partitioning can never drift apart
+/// (the seed interpreter needed a schema-algebra replay kept in lockstep by
+/// hand). Intermediate delta relations ping-pong through reusable scratch
+/// slots, so repeated batches refill existing entry/index capacity.
+///
 /// ApplyFactorizedDelta additionally implements the Optimize step of
 /// Section 5: a delta given as a product of factors is propagated without
 /// materializing its Cartesian product — sibling views join into the factor
 /// they share variables with, and marginalization is pushed into the factor
-/// that owns each variable.
+/// that owns each variable. (Factor schemas vary per update, so this path
+/// derives its specs per call.)
 ///
 /// If the tree carries indicator projections (Appendix B), updates to an
 /// indicated relation trigger a second, sequential propagation from each
@@ -36,23 +50,29 @@ class IvmEngine {
  public:
   using Element = typename Ring::Element;
 
+  /// Reusable intermediate-delta buffers for one propagation execution.
+  /// PropagateDelta ping-pongs join/marginalize outputs through the two
+  /// slots (Relation::Reset keeps their entry and index capacity), so a
+  /// caller that owns a scratch across calls — as the engine itself does for
+  /// the sequential trigger — re-fills allocated memory instead of growing
+  /// fresh relations per delta. Each concurrent PropagateDelta caller must
+  /// use its own scratch.
+  struct PropagationScratch {
+    Relation<Ring> buf[2];
+  };
+
   /// `tree` must outlive the engine and must already carry a
   /// materialization plan (ComputeMaterialization / MaterializeAll).
   IvmEngine(const ViewTree* tree, LiftingMap<Ring> lifts)
-      : tree_(tree), lifts_(std::move(lifts)) {
-    stores_.reserve(tree_->nodes().size());
-    counts_.resize(tree_->nodes().size());
-    for (size_t i = 0; i < tree_->nodes().size(); ++i) {
-      const auto& n = tree_->node(static_cast<int>(i));
-      stores_.emplace_back(n.store_schema);
-      if (n.indicator_for >= 0) {
-        counts_[i] = Relation<I64Ring>(n.out_schema);
-      }
-    }
-  }
+      : IvmEngine(tree, std::move(lifts), /*compile_plans=*/true) {}
 
   const ViewTree& tree() const { return *tree_; }
   const LiftingMap<Ring>& lifts() const { return lifts_; }
+
+  /// The compiled propagation plans (one per base/indicator leaf). The exec
+  /// layer holds handles into this set; PlanSet::DebugString() dumps every
+  /// route for diffing in bug reports.
+  const plan::PlanSet& plans() const { return plans_; }
 
   /// The maintained query result (root view).
   const Relation<Ring>& result() const { return stores_[tree_->root()]; }
@@ -114,11 +134,19 @@ class IvmEngine {
   }
 
   /// A bulk of updates to distinct relations is handled as a sequence of
-  /// single-relation updates (Section 4, "IVM Triggers").
+  /// single-relation updates (Section 4, "IVM Triggers"). The rvalue
+  /// overload consumes each delta, sparing one deep copy per entry on the
+  /// common build-then-apply pattern.
   void ApplyUpdates(
       const std::vector<std::pair<int, Relation<Ring>>>& deltas) {
     for (const auto& [relation, delta] : deltas) {
       ApplyDelta(relation, delta);
+    }
+  }
+
+  void ApplyUpdates(std::vector<std::pair<int, Relation<Ring>>>&& deltas) {
+    for (auto& [relation, delta] : deltas) {
+      ApplyDelta(relation, std::move(delta));
     }
   }
 
@@ -130,10 +158,9 @@ class IvmEngine {
     assert(!factors.empty());
     if (!tree_->IndicatorLeavesOfRelation(relation).empty()) {
       // Indicator maintenance needs per-tuple payloads; fall back to the
-      // expanded form.
-      Relation<Ring> expanded = ExpandProduct(factors);
+      // expanded form, consuming the factors.
       ApplyDelta(relation,
-                 ReorderIfNeeded(std::move(expanded),
+                 ReorderIfNeeded(ExpandProduct(std::move(factors)),
                                  query_relation_schema(relation)));
       return;
     }
@@ -141,8 +168,7 @@ class IvmEngine {
     std::vector<int> path = tree_->PathToRoot(relation);
     int leaf = path[0];
     if (tree_->node(leaf).materialized) {
-      Relation<Ring> expanded = ExpandProduct(factors);
-      AbsorbInto(stores_[leaf], std::move(expanded));
+      AbsorbProduct(stores_[leaf], factors);
     }
 
     int prev = leaf;
@@ -219,8 +245,7 @@ class IvmEngine {
       }
 
       if (n.materialized) {
-        Relation<Ring> expanded = ExpandProduct(factors);
-        AbsorbInto(stores_[path[i]], std::move(expanded));
+        AbsorbProduct(stores_[path[i]], factors);
       }
       prev = path[i];
     }
@@ -237,47 +262,30 @@ class IvmEngine {
   /// The join key on which the first sibling join of `relation`'s
   /// leaf-to-root path matches delta tuples — the natural partitioning key
   /// for shard-parallel batch propagation (src/exec/parallel_executor.h).
-  /// Restricted to variables of the leaf's out-schema (a later join's key
-  /// may mention variables introduced by an earlier sibling, which a
-  /// partitioner over leaf tuples cannot see); falls back to the full
-  /// out-schema when no sibling join shares a leaf variable.
+  /// Read straight off the compiled plan.
   Schema PropagationJoinKey(int relation) const {
-    int leaf = tree_->LeafOfRelation(relation);
-    const Schema& leaf_schema = tree_->node(leaf).out_schema;
-    Schema key;
-    WalkPropagationJoins(leaf, [&](int /*sibling*/, const Schema& common) {
-      if (key.empty()) {
-        Schema usable = common.Intersect(leaf_schema);
-        if (!usable.empty()) key = std::move(usable);
-      }
-    });
-    if (key.empty()) key = leaf_schema;
-    return key;
+    return plans_.ForRelation(relation).partition_key();
   }
 
   /// Builds every sibling-store secondary index that propagation from
   /// `relation`'s leaf probes. Index construction is lazy and not
   /// thread-safe, so concurrent PropagateDelta callers must prewarm first;
   /// after this call the parallel shards only perform read-only probes.
-  /// Kept in lockstep with JoinAndMarginalize's probe strategy: empty join
-  /// keys scan (no index) and full-key joins probe the primary index, so
-  /// only proper-subset keys need a secondary index.
+  /// The probe list is part of the compiled plan — the same steps execution
+  /// runs — so it is exact by construction: empty join keys scan (no
+  /// index), full-key joins probe the primary index, and only proper-subset
+  /// keys appear as secondary probes.
   void PrewarmPropagationIndexes(int relation) const {
-    WalkPropagationJoins(
-        tree_->LeafOfRelation(relation),
-        [&](int sibling, const Schema& common) {
-          if (!common.empty() &&
-              common.size() != stores_[sibling].schema().size()) {
-            stores_[sibling].IndexOn(common);
-          }
-        });
+    const plan::PropagationPlan& p = plans_.ForRelation(relation);
+    for (const auto& probe : p.secondary_probes()) {
+      stores_[probe.node].IndexOn(probe.key);
+    }
   }
 
   /// Adds a store-schema delta into the store of view `node` — also the
   /// merge entry point of the parallel executor: staged shard deltas are
   /// absorbed in shard order, which keeps the final store state
-  /// deterministic and equal to sequential application. Absorption stays
-  /// in arrival order; see the clustering note in relation_ops.h.
+  /// deterministic and equal to sequential application.
   void AbsorbStoreDelta(int node, Relation<Ring>&& delta) {
     AbsorbInto(stores_[node], std::move(delta));
   }
@@ -285,67 +293,79 @@ class IvmEngine {
     AbsorbInto(stores_[node], delta);
   }
 
-  /// Propagates a delta from (just above) leaf `from` toward the root,
-  /// handing `store_delta(node, std::move(delta))` the store delta of every
-  /// materialized node on the path instead of writing the stores directly.
-  /// The sink takes ownership (no copy is staged) and must return a stable
-  /// reference to the relation it stored; propagation continues reading
-  /// from that reference. `cur` must be in the leaf's out-schema layout.
+  /// Propagates a delta from (just above) leaf `from` toward the root by
+  /// executing the compiled plan, handing `store_delta(node,
+  /// std::move(delta))` the store delta of every materialized node on the
+  /// path instead of writing the stores directly. The sink takes ownership
+  /// (no copy is staged) and must return a stable reference to the relation
+  /// it stored; propagation continues reading from that reference. `cur`
+  /// must be in the leaf's out-schema layout.
   ///
   /// The method only *reads* engine state (sibling stores are probed,
   /// never written), so several shards of one batch may run it
   /// concurrently after PrewarmPropagationIndexes; propagation is linear
   /// in the delta, so the per-shard results merge by ⊎ into exactly the
-  /// sequential result.
+  /// sequential result. Each concurrent caller must pass its own
+  /// `scratch` (or use the scratch-allocating overload).
+  template <typename StoreDeltaSink>
+  void PropagateDelta(int from, Relation<Ring> cur,
+                      StoreDeltaSink&& store_delta,
+                      PropagationScratch* scratch) const {
+    const plan::PropagationPlan& p = plans_.ForLeaf(from);
+    assert(p.executable() &&
+           "sibling view not materialized for this updatable set");
+    assert(cur.schema() == p.leaf_schema());
+    Relation<Ring> owned = std::move(cur);
+    const Relation<Ring>* left = &owned;
+    int next_buf = 0;
+    for (const plan::PropagationStep& s : p.steps()) {
+      if (left->empty()) return;  // nothing changes upstream
+      switch (s.kind) {
+        case plan::PropagationStep::Kind::kJoin: {
+          Relation<Ring>& out = scratch->buf[next_buf];
+          next_buf = 1 - next_buf;
+          out.Reset(s.join.out_schema);
+          JoinAndMarginalizeInto(out, *left, stores_[s.sibling], s.join,
+                                 lifts_);
+          left = &out;
+          break;
+        }
+        case plan::PropagationStep::Kind::kMarginalize: {
+          Relation<Ring>& out = scratch->buf[next_buf];
+          next_buf = 1 - next_buf;
+          out.Reset(s.marg.out_schema);
+          MarginalizeInto(out, *left, s.marg, lifts_);
+          left = &out;
+          break;
+        }
+        case plan::PropagationStep::Kind::kStoreDelta: {
+          // The sink takes ownership, so the current buffer is surrendered
+          // (its slot refills from scratch on the next step). When `left`
+          // is a relation a previous sink call kept — two materialized
+          // nodes with nothing in between — re-materialize it first.
+          Relation<Ring>* surrender;
+          if (left == &owned) {
+            surrender = &owned;
+          } else if (left == &scratch->buf[0] || left == &scratch->buf[1]) {
+            surrender = const_cast<Relation<Ring>*>(left);
+          } else {
+            Relation<Ring>& out = scratch->buf[next_buf];
+            next_buf = 1 - next_buf;
+            out = *left;
+            surrender = &out;
+          }
+          left = &store_delta(s.node, std::move(*surrender));
+          break;
+        }
+      }
+    }
+  }
+
   template <typename StoreDeltaSink>
   void PropagateDelta(int from, Relation<Ring> cur,
                       StoreDeltaSink&& store_delta) const {
-    Relation<Ring> owned = std::move(cur);
-    const Relation<Ring>* left = &owned;
-    int prev = from;
-    int idx = tree_->node(from).parent;
-    while (idx >= 0) {
-      if (left->empty()) return;  // nothing changes upstream
-      const ViewTree::Node& n = tree_->node(idx);
-      Schema store_marg = n.marg_vars.Minus(n.retained_vars);
-      int last_sibling = -1;
-      for (int c : n.children) {
-        if (c != prev) last_sibling = c;
-      }
-      for (int c : n.children) {
-        if (c == prev) continue;
-        assert(tree_->node(c).materialized &&
-               "sibling view not materialized for this updatable set");
-        // Fuse the store-level marginalization into the final sibling join
-        // (as EvalOut does): one less materialized intermediate per batch,
-        // and the fused call more often qualifies for the single-emit
-        // left-key fast path of JoinAndMarginalize.
-        Schema marg = tree_->node(c).retained_vars;
-        if (c == last_sibling && !store_marg.empty()) {
-          marg = marg.Union(store_marg);
-          store_marg = Schema{};
-        }
-        owned = JoinAndMarginalize(*left, stores_[c], marg, lifts_);
-        left = &owned;
-      }
-      if (!store_marg.empty()) {
-        owned = Marginalize(*left, store_marg, lifts_);
-        left = &owned;
-      }
-      if (n.materialized) {
-        // Rare: two materialized nodes with no join or marginalization in
-        // between leave `owned` already surrendered; re-materialize it.
-        if (left != &owned) owned = *left;
-        left = &store_delta(idx, std::move(owned));
-      }
-      Schema out_marg = n.marg_vars.Intersect(n.retained_vars);
-      if (!out_marg.empty()) {
-        owned = Marginalize(*left, out_marg, lifts_);
-        left = &owned;
-      }
-      prev = idx;
-      idx = n.parent;
-    }
+    PropagationScratch scratch;
+    PropagateDelta(from, std::move(cur), store_delta, &scratch);
   }
 
   /// Memory footprint of all materialized stores and indicator counts.
@@ -377,15 +397,32 @@ class IvmEngine {
   }
 
   /// Non-incremental evaluation (F-RE): computes the root view over `db`
-  /// using the factorized view-tree plan, materializing nothing.
+  /// using the factorized view-tree plan, materializing nothing. The
+  /// throwaway engine skips propagation-plan compilation — re-evaluation
+  /// never propagates a delta.
   static Relation<Ring> Evaluate(const ViewTree& tree,
                                  const LiftingMap<Ring>& lifts,
                                  const Database<Ring>& db) {
-    IvmEngine tmp(&tree, lifts);
+    IvmEngine tmp(&tree, lifts, /*compile_plans=*/false);
     return tmp.EvalOut(tree.root(), db);
   }
 
  private:
+  IvmEngine(const ViewTree* tree, LiftingMap<Ring> lifts, bool compile_plans)
+      : tree_(tree), lifts_(std::move(lifts)) {
+    stores_.reserve(tree_->nodes().size());
+    counts_.resize(tree_->nodes().size());
+    for (size_t i = 0; i < tree_->nodes().size(); ++i) {
+      const auto& n = tree_->node(static_cast<int>(i));
+      stores_.emplace_back(n.store_schema);
+      if (n.indicator_for >= 0) {
+        counts_[i] = Relation<I64Ring>(n.out_schema);
+      }
+    }
+    if (compile_plans) {
+      plans_ = plan::PlanSet::Compile(*tree_, TrivialityOf(lifts_));
+    }
+  }
   const Schema& query_relation_schema(int relation) const {
     return tree_->query().relation(relation).schema;
   }
@@ -397,54 +434,22 @@ class IvmEngine {
 
   /// Propagates a delta from (just above) `from` to the root, joining with
   /// sibling stores, marginalizing per node, and refreshing materialized
-  /// stores. `cur` is the out-value delta of node `from`.
+  /// stores. `cur` is the out-value delta of node `from`. Runs on the
+  /// engine-owned scratch, so consecutive sequential triggers reuse the
+  /// intermediate buffers' capacity — including the store-delta buffer:
+  /// the sink *swaps* the surrendered buffer with the engine-owned
+  /// `seq_held_`, handing the previous trigger's storage back to the
+  /// scratch slot instead of freeing it (Reset clears the stale contents
+  /// before the slot is written again).
   void PropagateUp(int from, Relation<Ring> cur) {
-    Relation<Ring> held;
     PropagateDelta(from, std::move(cur),
-                   [this, &held](int idx, Relation<Ring>&& d)
+                   [this](int idx, Relation<Ring>&& d)
                        -> const Relation<Ring>& {
-                     held = std::move(d);
-                     AbsorbStoreDelta(idx, held);
-                     return held;
-                   });
-  }
-
-  /// Walks the leaf-to-root path of `from`, replaying PropagateDelta's
-  /// schema algebra without touching any data: `fn(sibling, common)` fires
-  /// for every sibling join with the join key the propagation will probe on
-  /// (empty for Cartesian steps). Keeping this in lockstep with
-  /// PropagateDelta is what makes index prewarming exact.
-  template <typename Fn>
-  void WalkPropagationJoins(int from, Fn&& fn) const {
-    Schema cur = tree_->node(from).out_schema;
-    int prev = from;
-    int idx = tree_->node(from).parent;
-    while (idx >= 0) {
-      const ViewTree::Node& n = tree_->node(idx);
-      Schema store_marg = n.marg_vars.Minus(n.retained_vars);
-      int last_sibling = -1;
-      for (int c : n.children) {
-        if (c != prev) last_sibling = c;
-      }
-      for (int c : n.children) {
-        if (c == prev) continue;
-        const Schema& sib = stores_[c].schema();
-        Schema common = cur.Intersect(sib);
-        fn(c, common);
-        Schema marg = tree_->node(c).retained_vars;
-        if (c == last_sibling && !store_marg.empty()) {
-          marg = marg.Union(store_marg);
-          store_marg = Schema{};
-        }
-        // JoinAndMarginalize output schema: (cur ∪ right-private) \ marg.
-        cur = cur.Union(sib.Minus(common)).Minus(marg);
-      }
-      if (!store_marg.empty()) cur = cur.Minus(store_marg);
-      Schema out_marg = n.marg_vars.Intersect(n.retained_vars);
-      if (!out_marg.empty()) cur = cur.Minus(out_marg);
-      prev = idx;
-      idx = n.parent;
-    }
+                     std::swap(seq_held_, d);
+                     AbsorbStoreDelta(idx, seq_held_);
+                     return seq_held_;
+                   },
+                   &seq_scratch_);
   }
 
   /// Turns a base-relation delta into an indicator delta (±1 for keys whose
@@ -486,13 +491,33 @@ class IvmEngine {
     return dind;
   }
 
-  Relation<Ring> ExpandProduct(const std::vector<Relation<Ring>>& factors) {
+  /// Materializes factors[0] ⊗ ... ⊗ factors[k-1], consuming the factors:
+  /// the first factor moves into the accumulator instead of being copied.
+  static Relation<Ring> ExpandProduct(std::vector<Relation<Ring>> factors) {
     assert(!factors.empty());
-    Relation<Ring> acc = factors[0];
+    Relation<Ring> acc = std::move(factors[0]);
     for (size_t i = 1; i < factors.size(); ++i) {
       acc = Join(acc, factors[i]);
     }
     return acc;
+  }
+
+  /// Absorbs the expanded product into `store` without consuming (or deep
+  /// copying) the factors: with two or more factors the first join already
+  /// materializes a fresh accumulator, and a single factor absorbs
+  /// directly.
+  static void AbsorbProduct(Relation<Ring>& store,
+                            const std::vector<Relation<Ring>>& factors) {
+    assert(!factors.empty());
+    if (factors.size() == 1) {
+      AbsorbInto(store, factors[0]);
+      return;
+    }
+    Relation<Ring> acc = Join(factors[0], factors[1]);
+    for (size_t i = 2; i < factors.size(); ++i) {
+      acc = Join(acc, factors[i]);
+    }
+    AbsorbInto(store, std::move(acc));
   }
 
   // Computes the node's *store* value (pre-out-marginalization) and fills
@@ -556,8 +581,15 @@ class IvmEngine {
 
   const ViewTree* tree_;
   LiftingMap<Ring> lifts_;
+  plan::PlanSet plans_;
   std::vector<Relation<Ring>> stores_;
   std::vector<Relation<I64Ring>> counts_;  // indicator support counters
+  /// Scratch for the engine's own (sequential) triggers. Concurrent
+  /// PropagateDelta callers bring their own. `seq_held_` keeps the last
+  /// store delta alive (propagation reads it after the absorb) and carries
+  /// its storage across triggers via the PropagateUp sink swap.
+  PropagationScratch seq_scratch_;
+  Relation<Ring> seq_held_;
 };
 
 }  // namespace fivm

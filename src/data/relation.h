@@ -1,6 +1,7 @@
 #ifndef FIVM_DATA_RELATION_H_
 #define FIVM_DATA_RELATION_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -71,8 +72,32 @@ class Relation {
     return *this;
   }
 
-  Relation(Relation&&) noexcept = default;
-  Relation& operator=(Relation&&) noexcept = default;
+  /// Moves leave the source a valid *empty* relation (not just
+  /// moved-from): the scalar bookkeeping (live_, and the index/map sizes
+  /// inside the members) would otherwise survive the member-wise move and
+  /// lie about emptied storage — the same hazard SlotIndex's move guards
+  /// against one level down. Scratch-slot reuse Reset()s and refills
+  /// surrendered relations, so the source must stay coherent.
+  Relation(Relation&& o) noexcept
+      : schema_(std::move(o.schema_)),
+        entries_(std::move(o.entries_)),
+        index_(std::move(o.index_)),
+        secondary_(std::move(o.secondary_)),
+        secondary_by_schema_(std::move(o.secondary_by_schema_)),
+        live_(o.live_) {
+    o.Clear();
+  }
+  Relation& operator=(Relation&& o) noexcept {
+    if (this == &o) return *this;
+    schema_ = std::move(o.schema_);
+    entries_ = std::move(o.entries_);
+    index_ = std::move(o.index_);
+    secondary_ = std::move(o.secondary_);
+    secondary_by_schema_ = std::move(o.secondary_by_schema_);
+    live_ = o.live_;
+    o.Clear();
+    return *this;
+  }
 
   const Schema& schema() const { return schema_; }
 
@@ -94,15 +119,81 @@ class Relation {
   /// leaves the 16-byte cell array. There is no deletion: zero-payload
   /// entries are tombstoned in place and dropped at compaction, which
   /// rebuilds the index from scratch.
+  ///
+  /// Probing is triangular quadratic (step 1, 2, 3, … — visits every cell
+  /// of a power-of-two table exactly once): unlike the linear probing this
+  /// index started with, consecutive inserts whose hashes land on adjacent
+  /// home cells scatter instead of forming collision runs, removing the
+  /// primary-clustering failure mode under home-cell-ordered bulk absorbs
+  /// (measurements and the revised conclusion live in the note in
+  /// relation_ops.h).
   class SlotIndex {
    public:
     static constexpr uint32_t kNoSlot = static_cast<uint32_t>(-1);
+
+    SlotIndex() = default;
+    SlotIndex(const SlotIndex&) = default;
+    SlotIndex& operator=(const SlotIndex&) = default;
+
+    /// Moves must leave the source a valid *empty* index: the cell vector
+    /// transfers, so the size/capacity/mask scalars have to reset with it
+    /// (a defaulted move would copy them and leave a lying index behind —
+    /// scratch-slot reuse Reset()s and refills moved-from relations).
+    SlotIndex(SlotIndex&& o) noexcept
+        : cells_(std::move(o.cells_)),
+          size_(o.size_),
+          capacity_(o.capacity_),
+          mask_(o.mask_) {
+      o.size_ = 0;
+      o.capacity_ = 0;
+      o.mask_ = 0;
+    }
+    SlotIndex& operator=(SlotIndex&& o) noexcept {
+      if (this == &o) return *this;
+      cells_ = std::move(o.cells_);
+      size_ = o.size_;
+      capacity_ = o.capacity_;
+      mask_ = o.mask_;
+      o.size_ = 0;
+      o.capacity_ = 0;
+      o.mask_ = 0;
+      return *this;
+    }
 
     void clear() {
       cells_.clear();
       size_ = 0;
       capacity_ = 0;
       mask_ = 0;
+    }
+
+    /// Cells retained across Reset: above this, the table is dropped
+    /// instead of refilled — a slot that once served a huge batch must not
+    /// make every later tiny delta pay an O(max-capacity) fill, nor pin
+    /// megabytes of scratch for the owner's lifetime.
+    static constexpr size_t kResetKeepCells = size_t{1} << 14;  // 256 KB
+
+    /// Empties the index, keeping the allocated cell array when it is
+    /// moderately sized, so a reused scratch relation refills without
+    /// reallocating or growth-rehashing.
+    void Reset() {
+      if (capacity_ == 0) return;
+      // Drop the table instead of refilling when it is oversized for the
+      // owner's lifetime, or grossly oversized for the *last* fill (<1/8
+      // occupancy): after one batch spike, at most one reset pays the
+      // full-capacity fill before the table resizes back to the working
+      // set. clear()'s vector keeps no capacity here — swap releases it.
+      if (capacity_ > kResetKeepCells ||
+          (capacity_ > 1024 && size_ * 8 < capacity_)) {
+        std::vector<Cell>().swap(cells_);
+        size_ = 0;
+        capacity_ = 0;
+        mask_ = 0;
+        return;
+      }
+      if (size_ == 0) return;  // every cell is already empty
+      std::fill(cells_.begin(), cells_.end(), Cell{0, kNoSlot});
+      size_ = 0;
     }
 
     void Reserve(size_t n) {
@@ -117,11 +208,12 @@ class Relation {
       if (size_ == 0) return kNoSlot;
       uint64_t h = key.Hash();
       size_t idx = h & mask_;
+      size_t step = 0;
       while (cells_[idx].slot != kNoSlot) {
         if (cells_[idx].hash == h && entries[cells_[idx].slot].key == key) {
           return cells_[idx].slot;
         }
-        idx = (idx + 1) & mask_;
+        idx = (idx + ++step) & mask_;
       }
       return kNoSlot;
     }
@@ -146,7 +238,8 @@ class Relation {
 
     void Place(uint64_t hash, uint32_t slot) {
       size_t idx = hash & mask_;
-      while (cells_[idx].slot != kNoSlot) idx = (idx + 1) & mask_;
+      size_t step = 0;
+      while (cells_[idx].slot != kNoSlot) idx = (idx + ++step) & mask_;
       cells_[idx] = Cell{hash, slot};
     }
 
@@ -223,6 +316,31 @@ class Relation {
     live_ = 0;
   }
 
+  /// Empties the relation and retargets it to `schema`, keeping the entry
+  /// vector's and the primary index's allocated capacity (up to the
+  /// SlotIndex::kResetKeepCells shrink guard — one outsized batch must not
+  /// pin max-sized scratch forever). This is what makes a plan scratch slot
+  /// reusable across propagation steps and batches: the next fill proceeds
+  /// without reallocating or growth-rehashing. Secondary indexes are
+  /// dropped (scratch relations are probe sources, not targets).
+  /// Entry storage retained across Reset, as a byte budget (entries are
+  /// ring-dependent and much larger than index cells, so the bound is on
+  /// bytes, not counts).
+  static constexpr size_t kResetKeepEntryBytes = size_t{1} << 18;  // 256 KB
+
+  void Reset(const Schema& schema) {
+    schema_ = schema;
+    if (entries_.capacity() * sizeof(Entry) > kResetKeepEntryBytes) {
+      entries_ = std::vector<Entry>();
+    } else {
+      entries_.clear();
+    }
+    index_.Reset();
+    secondary_.clear();
+    secondary_by_schema_.clear();
+    live_ = 0;
+  }
+
   /// A secondary hash index over a projection of the key. Probing yields the
   /// slots of all (live and dead) entries whose projection matches; callers
   /// must skip zero payloads.
@@ -271,6 +389,18 @@ class Relation {
                                 static_cast<uint32_t>(secondary_.size()));
     secondary_.push_back(std::move(sec));
     return *secondary_.back();
+  }
+
+  /// Number of secondary indexes currently built (lazily via IndexOn or
+  /// eagerly via plan-derived prewarming). Lets tests assert that a compiled
+  /// plan prewarmed exactly the indexes propagation probes — no lazy build
+  /// happens on the (concurrent) propagation path.
+  size_t SecondaryIndexCount() const { return secondary_.size(); }
+
+  /// True when a secondary index on `sub` has already been built. Unlike
+  /// IndexOn, never builds.
+  bool HasIndexOn(const Schema& sub) const {
+    return secondary_by_schema_.Find(sub) != nullptr;
   }
 
   const Entry& EntryAt(uint32_t slot) const { return entries_[slot]; }

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <utility>
 
+#include "src/data/op_specs.h"
 #include "src/data/relation.h"
 #include "src/data/schema.h"
 #include "src/data/tuple.h"
@@ -20,10 +21,21 @@ namespace fivm {
 /// evaluation and delta propagation use to avoid materializing intermediate
 /// join results.
 ///
+/// Every operator comes in two layers:
+///  - a *spec-taking* entry point executing a precompiled JoinSpec /
+///    JoinMargSpec / MargSpec (src/data/op_specs.h) — what the compiled
+///    propagation plans (src/plan/) call, with all schema algebra and
+///    position maps resolved once per plan instead of once per delta;
+///  - the classic schema-deriving overload, now a thin wrapper that compiles
+///    the spec on the fly and dispatches to the same executor, so both paths
+///    share one semantics definition.
+///
 /// Hot-path discipline: probe keys are TupleViews (no allocation per left
 /// entry), output keys are built in a reused scratch tuple (no allocation
 /// per match; Relation::Add copies the key only when it creates a new
-/// entry), and expiring inputs are consumed by move.
+/// entry), and expiring inputs are consumed by move. The *Into variants
+/// additionally reuse the output relation's entry and index capacity across
+/// calls (plan scratch slots).
 
 /// ⊎: returns left ⊎ right (schemas must match as sets; output uses left's
 /// order).
@@ -42,37 +54,105 @@ Relation<Ring> Union(const Relation<Ring>& left, const Relation<Ring>& right) {
   return out;
 }
 
+/// ⊕ with a precompiled spec, appending into `out` (which must already carry
+/// spec.out_schema; callers reuse it as a scratch slot via Relation::Reset).
+template <typename Ring>
+void MarginalizeInto(Relation<Ring>& out, const Relation<Ring>& rel,
+                     const MargSpec& spec, const LiftingMap<Ring>& lifts) {
+  using Element = typename Ring::Element;
+  assert(rel.schema() == spec.in_schema);
+  assert(out.schema() == spec.out_schema);
+  // At most one output key per input key; presizing spares batched deltas
+  // the doubling-growth entry copies and index rehashes.
+  out.Reserve(rel.size());
+  rel.ForEach([&](const Tuple& k, const Element& p) {
+    Element acc = p;
+    for (const auto& [pos, var] : spec.lifted) {
+      acc = Ring::Mul(acc, lifts.Lift(var, k[pos]));
+    }
+    out.Add(k.Project(spec.out_positions), std::move(acc));
+  });
+}
+
+template <typename Ring>
+Relation<Ring> Marginalize(const Relation<Ring>& rel, const MargSpec& spec,
+                           const LiftingMap<Ring>& lifts) {
+  Relation<Ring> out(spec.out_schema);
+  MarginalizeInto(out, rel, spec, lifts);
+  return out;
+}
+
 /// ⊕: marginalizes the variables `marg` out of `rel`, lifting each
 /// marginalized value via `lifts` and multiplying it into the payload.
 /// Output schema is rel.schema \ marg.
 template <typename Ring>
 Relation<Ring> Marginalize(const Relation<Ring>& rel, const Schema& marg,
                            const LiftingMap<Ring>& lifts) {
-  using Element = typename Ring::Element;
-  Schema out_schema = rel.schema().Minus(marg);
-  Relation<Ring> out(out_schema);
-  // At most one output key per input key; presizing spares batched deltas
-  // the doubling-growth entry copies and index rehashes.
-  out.Reserve(rel.size());
-  auto out_positions = rel.schema().PositionsOf(out_schema);
+  // Raw lambda, not TrivialityOf: the on-the-fly wrapper is a hot path and
+  // must not pay std::function type erasure per call.
+  return Marginalize(rel,
+                     MargSpec::Compile(
+                         rel.schema(), marg,
+                         [&lifts](VarId v) { return lifts.IsTrivial(v); }),
+                     lifts);
+}
 
-  // Positions of marginalized vars that carry non-trivial liftings.
-  util::SmallVector<std::pair<uint32_t, VarId>, 6> lifted;
-  for (VarId v : marg) {
-    int pos = rel.schema().PositionOf(v);
-    assert(pos >= 0);
-    if (!lifts.IsTrivial(v)) {
-      lifted.emplace_back(static_cast<uint32_t>(pos), v);
+/// ⊗ with a precompiled spec, appending into `out`.
+template <typename Ring>
+void JoinInto(Relation<Ring>& out, const Relation<Ring>& left,
+              const Relation<Ring>& right, const JoinSpec& spec) {
+  using Element = typename Ring::Element;
+  assert(left.schema() == spec.left_schema);
+  assert(right.schema() == spec.right_schema);
+  assert(out.schema() == spec.out_schema);
+
+  Tuple scratch;
+  auto emit = [&](const Tuple& lk, const Element& lp, const Tuple& rk,
+                  const Element& rp) {
+    scratch = lk;  // memcpy of values + cached hash; no re-fold of the prefix
+    for (auto p : spec.right_private_pos) scratch.Append(rk[p]);
+    out.Add(scratch, Ring::Mul(lp, rp));
+  };
+
+  switch (spec.kind) {
+    case JoinKind::kCartesian:
+      left.ForEach([&](const Tuple& lk, const Element& lp) {
+        right.ForEach(
+            [&](const Tuple& rk, const Element& rp) { emit(lk, lp, rk, rp); });
+      });
+      return;
+    case JoinKind::kFullKeyPrimary:
+      // The join key covers the whole right schema: at most one match per
+      // left entry, found through right's primary index. No secondary index
+      // is built (or maintained by later absorbs into `right`), and the
+      // output schema equals left's, so keys pass through unchanged.
+      out.Reserve(left.size());
+      left.ForEach([&](const Tuple& lk, const Element& lp) {
+        const Element* rp = right.Find(TupleView(lk, spec.right_key_pos));
+        if (rp != nullptr) out.Add(lk, Ring::Mul(lp, *rp));
+      });
+      return;
+    case JoinKind::kSecondaryProbe: {
+      const auto& right_index = right.IndexOn(spec.common);
+      left.ForEach([&](const Tuple& lk, const Element& lp) {
+        const auto* slots = right_index.Probe(TupleView(lk, spec.left_common));
+        if (slots == nullptr) return;
+        for (uint32_t slot : *slots) {
+          const auto& e = right.EntryAt(slot);
+          if (Ring::IsZero(e.payload)) continue;
+          emit(lk, lp, e.key, e.payload);
+        }
+      });
+      return;
     }
   }
+}
 
-  rel.ForEach([&](const Tuple& k, const Element& p) {
-    Element acc = p;
-    for (const auto& [pos, var] : lifted) {
-      acc = Ring::Mul(acc, lifts.Lift(var, k[pos]));
-    }
-    out.Add(k.Project(out_positions), std::move(acc));
-  });
+template <typename Ring>
+Relation<Ring> Join(const Relation<Ring>& left, const Relation<Ring>& right,
+                    const JoinSpec& spec) {
+  Relation<Ring> out(spec.out_schema);
+  JoinInto(out, left, right, spec);
   return out;
 }
 
@@ -83,109 +163,28 @@ Relation<Ring> Marginalize(const Relation<Ring>& rel, const Schema& marg,
 /// payload schemas left-to-right).
 template <typename Ring>
 Relation<Ring> Join(const Relation<Ring>& left, const Relation<Ring>& right) {
-  using Element = typename Ring::Element;
-  Schema common = left.schema().Intersect(right.schema());
-  Schema right_private = right.schema().Minus(common);
-  Schema out_schema = left.schema().Union(right_private);
-  Relation<Ring> out(out_schema);
-
-  auto left_common = left.schema().PositionsOf(common);
-  auto right_private_pos = right.schema().PositionsOf(right_private);
-
-  Tuple scratch;
-  auto emit = [&](const Tuple& lk, const Element& lp, const Tuple& rk,
-                  const Element& rp) {
-    scratch = lk;  // memcpy of values + cached hash; no re-fold of the prefix
-    for (auto p : right_private_pos) scratch.Append(rk[p]);
-    out.Add(scratch, Ring::Mul(lp, rp));
-  };
-
-  if (common.empty()) {
-    // Cartesian product.
-    left.ForEach([&](const Tuple& lk, const Element& lp) {
-      right.ForEach(
-          [&](const Tuple& rk, const Element& rp) { emit(lk, lp, rk, rp); });
-    });
-    return out;
-  }
-
-  if (common.size() == right.schema().size()) {
-    // The join key covers the whole right schema: at most one match per
-    // left entry, found through right's primary index. No secondary index
-    // is built (or maintained by later absorbs into `right`), and the
-    // output schema equals left's, so keys pass through unchanged.
-    auto right_key_pos = left.schema().PositionsOf(right.schema());
-    out.Reserve(left.size());
-    left.ForEach([&](const Tuple& lk, const Element& lp) {
-      const Element* rp = right.Find(TupleView(lk, right_key_pos));
-      if (rp != nullptr) out.Add(lk, Ring::Mul(lp, *rp));
-    });
-    return out;
-  }
-
-  const auto& right_index = right.IndexOn(common);
-  left.ForEach([&](const Tuple& lk, const Element& lp) {
-    const auto* slots = right_index.Probe(TupleView(lk, left_common));
-    if (slots == nullptr) return;
-    for (uint32_t slot : *slots) {
-      const auto& e = right.EntryAt(slot);
-      if (Ring::IsZero(e.payload)) continue;
-      emit(lk, lp, e.key, e.payload);
-    }
-  });
-  return out;
+  return Join(left, right, JoinSpec::Compile(left.schema(), right.schema()));
 }
 
-/// Fused ⊕_{marg}(left ⊗ right): joins and immediately marginalizes, never
-/// materializing the join result. `marg` may mention variables from either
-/// side. This is the inner loop of view evaluation and delta propagation.
+/// Fused ⊕_{marg}(left ⊗ right) with a precompiled spec, appending into
+/// `out`. This is the inner loop of compiled delta propagation.
 template <typename Ring>
-Relation<Ring> JoinAndMarginalize(const Relation<Ring>& left,
-                                  const Relation<Ring>& right,
-                                  const Schema& marg,
-                                  const LiftingMap<Ring>& lifts) {
+void JoinAndMarginalizeInto(Relation<Ring>& out, const Relation<Ring>& left,
+                            const Relation<Ring>& right,
+                            const JoinMargSpec& spec,
+                            const LiftingMap<Ring>& lifts) {
   using Element = typename Ring::Element;
-  Schema common = left.schema().Intersect(right.schema());
-  Schema right_private = right.schema().Minus(common);
-  Schema joined = left.schema().Union(right_private);
-  Schema out_schema = joined.Minus(marg);
-  Relation<Ring> out(out_schema);
-
-  auto left_common = left.schema().PositionsOf(common);
-
-  // For each output variable, record (from_left, position).
-  util::SmallVector<std::pair<bool, uint32_t>, 6> out_src;
-  for (VarId v : out_schema) {
-    int lp = left.schema().PositionOf(v);
-    if (lp >= 0) {
-      out_src.emplace_back(true, static_cast<uint32_t>(lp));
-    } else {
-      int rp = right.schema().PositionOf(v);
-      assert(rp >= 0);
-      out_src.emplace_back(false, static_cast<uint32_t>(rp));
-    }
-  }
-  // Non-trivially lifted marginalized variables, with source side/position.
-  util::SmallVector<std::pair<VarId, std::pair<bool, uint32_t>>, 6> lifted;
-  for (VarId v : marg) {
-    if (!joined.Contains(v) || lifts.IsTrivial(v)) continue;
-    int lp = left.schema().PositionOf(v);
-    if (lp >= 0) {
-      lifted.emplace_back(v, std::make_pair(true, static_cast<uint32_t>(lp)));
-    } else {
-      int rp = right.schema().PositionOf(v);
-      assert(rp >= 0);
-      lifted.emplace_back(v, std::make_pair(false, static_cast<uint32_t>(rp)));
-    }
-  }
+  assert(left.schema() == spec.left_schema);
+  assert(right.schema() == spec.right_schema);
+  assert(out.schema() == spec.out_schema);
 
   // One match's ring term: Mul(left, right) times the lifted marginalized
   // values.
   auto term = [&](const Tuple& lk, const Element& lp, const Tuple& rk,
                   const Element& rp) {
     Element acc = Ring::Mul(lp, rp);
-    for (const auto& [var, src] : lifted) {
-      const Value& x = src.first ? lk[src.second] : rk[src.second];
+    for (const auto& [var, src] : spec.lifted) {
+      const Value& x = src.from_left ? lk[src.pos] : rk[src.pos];
       acc = Ring::Mul(acc, lifts.Lift(var, x));
     }
     return acc;
@@ -197,86 +196,104 @@ Relation<Ring> JoinAndMarginalize(const Relation<Ring>& left,
   auto emit = [&](const Tuple& lk, const Element& lp, const Tuple& rk,
                   const Element& rp) {
     scratch.Clear();
-    for (const auto& [from_left, pos] : out_src) {
-      scratch.Append(from_left ? lk[pos] : rk[pos]);
+    for (const auto& src : spec.out_src) {
+      scratch.Append(src.from_left ? lk[src.pos] : rk[src.pos]);
     }
     out.Add(scratch, term(lk, lp, rk, rp));
   };
 
-  // When every output variable comes from the left side (all of the right
-  // side is joined away), the output key is fixed per left entry, so the
-  // whole match set folds in the ring (distributivity) and costs a single
-  // hash-map update instead of one per match.
-  bool left_only_key = true;
-  for (const auto& [from_left, pos] : out_src) {
-    left_only_key = left_only_key && from_left;
-  }
-
-  if (common.empty()) {
-    left.ForEach([&](const Tuple& lk, const Element& lp) {
-      right.ForEach(
-          [&](const Tuple& rk, const Element& rp) { emit(lk, lp, rk, rp); });
-    });
-    return out;
-  }
-
-  if (common.size() == right.schema().size()) {
-    // Full-key probe: the join key covers the whole right schema, so each
-    // left entry has at most one partner, located through right's primary
-    // index — no secondary index to build here or to maintain on every
-    // later absorb into `right`. Every output and lifted variable then
-    // lives on the left (out_src/lifted prefer the left position), so the
-    // right key is never dereferenced and `lk` stands in for it.
-    auto right_key_pos = left.schema().PositionsOf(right.schema());
-    out.Reserve(left.size());
-    left.ForEach([&](const Tuple& lk, const Element& lp) {
-      const Element* rp = right.Find(TupleView(lk, right_key_pos));
-      if (rp == nullptr) return;
-      scratch.Clear();
-      for (const auto& [from_left, pos] : out_src) scratch.Append(lk[pos]);
-      out.Add(scratch, term(lk, lp, lk, *rp));
-    });
-    return out;
-  }
-
-  const auto& right_index = right.IndexOn(common);
-  if (left_only_key) {
-    // One output key per left entry at most.
-    out.Reserve(left.size());
-    left.ForEach([&](const Tuple& lk, const Element& lp) {
-      const auto* slots = right_index.Probe(TupleView(lk, left_common));
-      if (slots == nullptr) return;
-      Element acc = Ring::Zero();
-      bool have = false;
-      for (uint32_t slot : *slots) {
-        const auto& e = right.EntryAt(slot);
-        if (Ring::IsZero(e.payload)) continue;
-        if (!have) {
-          acc = term(lk, lp, e.key, e.payload);
-          have = true;
-        } else {
-          Ring::AddInPlace(acc, term(lk, lp, e.key, e.payload));
-        }
+  switch (spec.kind) {
+    case JoinKind::kCartesian:
+      left.ForEach([&](const Tuple& lk, const Element& lp) {
+        right.ForEach(
+            [&](const Tuple& rk, const Element& rp) { emit(lk, lp, rk, rp); });
+      });
+      return;
+    case JoinKind::kFullKeyPrimary:
+      // Full-key probe: the join key covers the whole right schema, so each
+      // left entry has at most one partner, located through right's primary
+      // index — no secondary index to build here or to maintain on every
+      // later absorb into `right`. Every output and lifted variable then
+      // lives on the left (out_src/lifted prefer the left position), so the
+      // right key is never dereferenced and `lk` stands in for it.
+      out.Reserve(left.size());
+      left.ForEach([&](const Tuple& lk, const Element& lp) {
+        const Element* rp = right.Find(TupleView(lk, spec.right_key_pos));
+        if (rp == nullptr) return;
+        scratch.Clear();
+        for (const auto& src : spec.out_src) scratch.Append(lk[src.pos]);
+        out.Add(scratch, term(lk, lp, lk, *rp));
+      });
+      return;
+    case JoinKind::kSecondaryProbe: {
+      const auto& right_index = right.IndexOn(spec.common);
+      if (spec.left_only_key) {
+        // When every output variable comes from the left side (all of the
+        // right side is joined away), the output key is fixed per left
+        // entry, so the whole match set folds in the ring (distributivity)
+        // and costs a single hash-map update instead of one per match.
+        out.Reserve(left.size());
+        left.ForEach([&](const Tuple& lk, const Element& lp) {
+          const auto* slots =
+              right_index.Probe(TupleView(lk, spec.left_common));
+          if (slots == nullptr) return;
+          Element acc = Ring::Zero();
+          bool have = false;
+          for (uint32_t slot : *slots) {
+            const auto& e = right.EntryAt(slot);
+            if (Ring::IsZero(e.payload)) continue;
+            if (!have) {
+              acc = term(lk, lp, e.key, e.payload);
+              have = true;
+            } else {
+              Ring::AddInPlace(acc, term(lk, lp, e.key, e.payload));
+            }
+          }
+          if (!have) return;
+          scratch.Clear();
+          for (const auto& src : spec.out_src) scratch.Append(lk[src.pos]);
+          out.Add(scratch, std::move(acc));
+        });
+        return;
       }
-      if (!have) return;
-      scratch.Clear();
-      for (const auto& [from_left, pos] : out_src) scratch.Append(lk[pos]);
-      out.Add(scratch, std::move(acc));
-    });
-    return out;
-  }
-
-  out.Reserve(left.size());  // floor; match fan-out grows beyond it
-  left.ForEach([&](const Tuple& lk, const Element& lp) {
-    const auto* slots = right_index.Probe(TupleView(lk, left_common));
-    if (slots == nullptr) return;
-    for (uint32_t slot : *slots) {
-      const auto& e = right.EntryAt(slot);
-      if (Ring::IsZero(e.payload)) continue;
-      emit(lk, lp, e.key, e.payload);
+      out.Reserve(left.size());  // floor; match fan-out grows beyond it
+      left.ForEach([&](const Tuple& lk, const Element& lp) {
+        const auto* slots = right_index.Probe(TupleView(lk, spec.left_common));
+        if (slots == nullptr) return;
+        for (uint32_t slot : *slots) {
+          const auto& e = right.EntryAt(slot);
+          if (Ring::IsZero(e.payload)) continue;
+          emit(lk, lp, e.key, e.payload);
+        }
+      });
+      return;
     }
-  });
+  }
+}
+
+template <typename Ring>
+Relation<Ring> JoinAndMarginalize(const Relation<Ring>& left,
+                                  const Relation<Ring>& right,
+                                  const JoinMargSpec& spec,
+                                  const LiftingMap<Ring>& lifts) {
+  Relation<Ring> out(spec.out_schema);
+  JoinAndMarginalizeInto(out, left, right, spec, lifts);
   return out;
+}
+
+/// Fused ⊕_{marg}(left ⊗ right): joins and immediately marginalizes, never
+/// materializing the join result. `marg` may mention variables from either
+/// side.
+template <typename Ring>
+Relation<Ring> JoinAndMarginalize(const Relation<Ring>& left,
+                                  const Relation<Ring>& right,
+                                  const Schema& marg,
+                                  const LiftingMap<Ring>& lifts) {
+  return JoinAndMarginalize(
+      left, right,
+      JoinMargSpec::Compile(left.schema(), right.schema(), marg,
+                            [&lifts](VarId v) { return lifts.IsTrivial(v); }),
+      lifts);
 }
 
 /// Returns `rel` with keys re-projected to `target`'s column layout
@@ -358,13 +375,22 @@ bool ContentEquals(const Relation<Ring>& a, const Relation<Ring>& b) {
   return equal;
 }
 
-// Measured dead end, kept as a warning: absorbing a large delta in
-// ascending key-hash order ("sweep the index instead of random-probing
-// it") roughly DOUBLED absorb cost on the fig13 stores. Linear probing
-// degenerates under sorted bulk inserts — consecutive inserts land on
-// adjacent home cells and build long collision runs (primary clustering).
-// Absorbs must stay in arrival order unless the index moves to a
-// clustering-resistant scheme (robin hood / quadratic).
+// Historical note (PR 2, revised in PR 3): under *linear* probing, absorbing
+// a large delta in ascending key-hash order was recorded as ~2× slower than
+// arrival order on the live fig13 stores (primary clustering). SlotIndex
+// has since moved to triangular quadratic probing (relation.h), and the
+// claim was re-measured with BM_AbsorbHashOrdered
+// (bench/bench_micro_relation.cc; 190k-key absorb into a 580k-key store,
+// keys sorted by home cell — hash & mask, the LOW bits — within-process
+// A/B, median of 3). Result: the home-cell sweep is ~1.7× FASTER than
+// arrival order under both schemes (quadratic 31.2 vs 49.9 ms; linear 29.7
+// vs 53.5 ms) — sequential home cells are cache-friendly, and at ≤75% load
+// the cache wins dominate any clustering; the historical 2× penalty does
+// not reproduce in this harness. Conclusion: the PR2-era "absorbs must stay
+// in arrival order" constraint is lifted — hash/probe-ordered bulk absorbs
+// are not just safe but preferable — and quadratic probing stays as cheap
+// insurance against clustering pathologies the standalone harness cannot
+// reproduce.
 
 /// Converts a relation between rings by mapping payloads through `fn`.
 template <typename ToRing, typename FromRing, typename Fn>

@@ -10,6 +10,7 @@
 #include "src/data/relation.h"
 #include "src/data/relation_ops.h"
 #include "src/data/tuple.h"
+#include "src/plan/propagation_plan.h"
 #include "src/rings/ring.h"
 
 namespace fivm::exec {
@@ -37,15 +38,23 @@ class DeltaBatcher {
     Relation<Ring> delta;  // keyed in the leaf's out-schema layout
   };
 
-  /// `tree` must outlive the batcher. `capacity` is the number of buffered
-  /// updates (counted pre-coalescing) after which Full() turns true and the
-  /// caller should Flush(); 0 means "never full" (manual flushing only).
-  DeltaBatcher(const ViewTree* tree, size_t capacity)
-      : tree_(tree),
+  /// `plans` (a compiled plan set, e.g. IvmEngine::plans()) must outlive
+  /// the batcher: per relation the batcher holds a handle to its
+  /// PropagationPlan, whose leaf schema is the layout Flush() emits.
+  /// `capacity` is the number of buffered updates (counted pre-coalescing)
+  /// after which Full() turns true and the caller should Flush(); 0 means
+  /// "never full" (manual flushing only).
+  DeltaBatcher(const plan::PlanSet* plans, size_t capacity)
+      : tree_(&plans->tree()),
         capacity_(capacity),
-        accums_(tree->query().relation_count()),
-        input_layouts_(tree->query().relation_count()),
-        in_batch_(tree->query().relation_count(), 0) {}
+        accums_(tree_->query().relation_count()),
+        input_layouts_(tree_->query().relation_count()),
+        in_batch_(tree_->query().relation_count(), 0) {
+    plan_of_relation_.reserve(tree_->query().relation_count());
+    for (int r = 0; r < tree_->query().relation_count(); ++r) {
+      plan_of_relation_.push_back(&plans->ForRelation(r));
+    }
+  }
 
   size_t capacity() const { return capacity_; }
 
@@ -100,8 +109,7 @@ class DeltaBatcher {
     for (int r : touched_) {
       Relation<Ring>& acc = accums_[r];
       if (!acc.empty()) {
-        const Schema& target =
-            tree_->node(tree_->LeafOfRelation(r)).out_schema;
+        const Schema& target = plan_of_relation_[r]->leaf_schema();
         out.push_back(Batch{r, Reordered(std::move(acc), target)});
       }
       accums_[r] = Relation<Ring>();
@@ -126,6 +134,8 @@ class DeltaBatcher {
   }
 
   const ViewTree* tree_;
+  /// Per-relation handle into the compiled plan set (flush target layout).
+  std::vector<const plan::PropagationPlan*> plan_of_relation_;
   size_t capacity_;
   std::vector<Relation<Ring>> accums_;
   /// Per-relation arrival layout; empty = the query relation's schema.

@@ -15,6 +15,7 @@
 #include "src/data/tuple.h"
 #include "src/exec/delta_batcher.h"
 #include "src/exec/thread_pool.h"
+#include "src/plan/propagation_plan.h"
 
 namespace fivm::exec {
 
@@ -55,10 +56,16 @@ class ParallelExecutor {
     size_t shards = 0;
   };
 
-  /// `engine` and `pool` must outlive the executor.
+  /// `engine` and `pool` must outlive the executor. The executor holds a
+  /// handle to the engine's compiled plan set: partition keys, leaf
+  /// layouts and prewarm lists are read off the per-relation
+  /// PropagationPlan instead of being re-derived per batch.
   ParallelExecutor(IvmEngine<Ring>* engine, ThreadPool* pool,
                    Options options = {})
-      : engine_(engine), pool_(pool), options_(options) {}
+      : engine_(engine),
+        plans_(&engine->plans()),
+        pool_(pool),
+        options_(options) {}
 
   size_t ShardCount() const {
     if (options_.shards > 0) return options_.shards;
@@ -79,22 +86,22 @@ class ParallelExecutor {
       return;
     }
 
-    const ViewTree& tree = engine_->tree();
-    const int leaf = tree.LeafOfRelation(relation);
-    const Schema& leaf_schema = tree.node(leaf).out_schema;
+    const plan::PropagationPlan& plan = plans_->ForRelation(relation);
+    const int leaf = plan.leaf();
+    const Schema& leaf_schema = plan.leaf_schema();
     delta = Reordered(std::move(delta), leaf_schema);
 
     // The leaf store absorbs the whole batch up front, exactly as the
     // sequential trigger does; propagation never reads the leaf store.
-    if (tree.node(leaf).materialized) {
+    if (engine_->tree().node(leaf).materialized) {
       engine_->AbsorbStoreDelta(leaf, delta);
     }
 
     // Partition on the first sibling join's key so entries sharing a join
     // partner land in the same shard; any partition is correct
     // (linearity), this one keeps each shard's probe working set disjoint.
-    Schema part_key = engine_->PropagationJoinKey(relation);
-    auto part_pos = leaf_schema.PositionsOf(part_key);
+    // Key and positions are precompiled into the plan.
+    const auto& part_pos = plan.partition_positions();
     std::vector<Relation<Ring>> shard_delta;
     shard_delta.reserve(shards);
     for (size_t s = 0; s < shards; ++s) {
@@ -107,7 +114,8 @@ class ParallelExecutor {
     }
 
     // Lazy secondary-index construction is not thread-safe; build every
-    // index the shards will probe before forking.
+    // index the shards will probe — the plan's exact probe list — before
+    // forking.
     engine_->PrewarmPropagationIndexes(relation);
 
     std::vector<std::vector<std::pair<int, Relation<Ring>>>> staged(shards);
@@ -117,13 +125,16 @@ class ParallelExecutor {
       tasks.push_back([this, leaf, s, &shard_delta, &staged] {
         auto& out = staged[s];
         // The sink takes ownership of each store delta (no copy) and the
-        // propagation continues reading from the staged slot.
+        // propagation continues reading from the staged slot. Scratch is
+        // per task: concurrent plan executions must not share buffers.
+        typename IvmEngine<Ring>::PropagationScratch scratch;
         engine_->PropagateDelta(
             leaf, std::move(shard_delta[s]),
             [&out](int node, Relation<Ring>&& d) -> const Relation<Ring>& {
               out.emplace_back(node, std::move(d));
               return out.back().second;
-            });
+            },
+            &scratch);
       });
     }
     pool_->RunTasks(std::move(tasks));
@@ -146,6 +157,7 @@ class ParallelExecutor {
 
  private:
   IvmEngine<Ring>* engine_;
+  const plan::PlanSet* plans_;  // the engine's compiled propagation plans
   ThreadPool* pool_;
   Options options_;
 };

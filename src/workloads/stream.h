@@ -45,7 +45,26 @@ class UpdateStream {
   template <typename Ring>
   static Relation<Ring> ToDelta(const Query& query, const Batch& batch) {
     Relation<Ring> delta(query.relation(batch.relation).schema);
+    delta.Reserve(batch.tuples.size());
     for (const Tuple& t : batch.tuples) delta.Add(t, Ring::One());
+    return delta;
+  }
+
+  /// Same, but builds the delta directly in `layout` (e.g. the compiled
+  /// plan's leaf schema, PropagationPlan::leaf_schema()), so the engine's
+  /// intake needs no per-batch reorder materialization. `layout` must cover
+  /// the relation's variable set.
+  template <typename Ring>
+  static Relation<Ring> ToDelta(const Query& query, const Batch& batch,
+                                const Schema& layout) {
+    const Schema& src = query.relation(batch.relation).schema;
+    if (src == layout) return ToDelta<Ring>(query, batch);
+    Relation<Ring> delta(layout);
+    delta.Reserve(batch.tuples.size());
+    auto pos = src.PositionsOf(layout);
+    for (const Tuple& t : batch.tuples) {
+      delta.Add(t.Project(pos), Ring::One());
+    }
     return delta;
   }
 

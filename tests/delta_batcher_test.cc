@@ -10,6 +10,7 @@
 #include "src/core/variable_order.h"
 #include "src/core/view_tree.h"
 #include "src/data/catalog.h"
+#include "src/plan/propagation_plan.h"
 #include "src/rings/ring.h"
 
 namespace fivm::exec {
@@ -23,6 +24,9 @@ struct Fixture {
   int r, s, t;
   VariableOrder vo;
   ViewTree tree;
+  // Standalone plan compilation (no engine needed): the batcher only reads
+  // the per-relation leaf layouts off the plan handles.
+  plan::PlanSet plans;
 
   static Fixture Make() { return Fixture(); }
 
@@ -35,7 +39,8 @@ struct Fixture {
         r(query.AddRelation("R", Schema{A, B})),
         s(query.AddRelation("S", Schema{A, C, E})),
         t(query.AddRelation("T", Schema{C, D})),
-        tree((Build(), &query), &vo) {}
+        tree((Build(), &query), &vo),
+        plans(plan::PlanSet::Compile(tree, [](VarId) { return true; })) {}
 
  private:
   void Build() {
@@ -53,7 +58,7 @@ struct Fixture {
 
 TEST(DeltaBatcherTest, CoalescesDuplicateKeysByRingAddition) {
   Fixture f;
-  DeltaBatcher<I64Ring> batcher(&f.tree, 0);
+  DeltaBatcher<I64Ring> batcher(&f.plans, 0);
   batcher.PushInsert(f.r, Tuple::Ints({1, 2}));
   batcher.PushInsert(f.r, Tuple::Ints({1, 2}));
   batcher.Push(f.r, Tuple::Ints({1, 2}), 3);
@@ -71,7 +76,7 @@ TEST(DeltaBatcherTest, CoalescesDuplicateKeysByRingAddition) {
 
 TEST(DeltaBatcherTest, ZeroSumUpdatesCancelBeforeEmission) {
   Fixture f;
-  DeltaBatcher<I64Ring> batcher(&f.tree, 0);
+  DeltaBatcher<I64Ring> batcher(&f.plans, 0);
   batcher.PushInsert(f.r, Tuple::Ints({1, 2}));
   batcher.PushDelete(f.r, Tuple::Ints({1, 2}));
   auto batches = batcher.Flush();
@@ -91,7 +96,7 @@ TEST(DeltaBatcherTest, ZeroSumUpdatesCancelBeforeEmission) {
 
 TEST(DeltaBatcherTest, ReordersArrivalLayoutToLeafSchemaOncePerBatch) {
   Fixture f;
-  DeltaBatcher<I64Ring> batcher(&f.tree, 0);
+  DeltaBatcher<I64Ring> batcher(&f.plans, 0);
   // T's updates arrive as (D, C) — reversed relative to T(C, D).
   batcher.SetInputSchema(f.t, Schema{f.D, f.C});
   batcher.PushInsert(f.t, Tuple::Ints({9, 3}));   // (d=9, c=3)
@@ -116,7 +121,7 @@ TEST(DeltaBatcherTest, ReordersArrivalLayoutToLeafSchemaOncePerBatch) {
 
 TEST(DeltaBatcherTest, EmitsRelationsInFirstTouchOrder) {
   Fixture f;
-  DeltaBatcher<I64Ring> batcher(&f.tree, 0);
+  DeltaBatcher<I64Ring> batcher(&f.plans, 0);
   batcher.PushInsert(f.t, Tuple::Ints({1, 1}));
   batcher.PushInsert(f.r, Tuple::Ints({2, 2}));
   batcher.PushInsert(f.t, Tuple::Ints({3, 3}));
@@ -131,7 +136,7 @@ TEST(DeltaBatcherTest, EmitsRelationsInFirstTouchOrder) {
 
 TEST(DeltaBatcherTest, CapacityDrivesFull) {
   Fixture f;
-  DeltaBatcher<I64Ring> batcher(&f.tree, 3);
+  DeltaBatcher<I64Ring> batcher(&f.plans, 3);
   EXPECT_EQ(batcher.capacity(), 3u);
   EXPECT_FALSE(batcher.Full());
   batcher.PushInsert(f.r, Tuple::Ints({1, 1}));
@@ -143,7 +148,7 @@ TEST(DeltaBatcherTest, CapacityDrivesFull) {
   EXPECT_FALSE(batcher.Full());
 
   // Capacity 0 never reports full.
-  DeltaBatcher<I64Ring> manual(&f.tree, 0);
+  DeltaBatcher<I64Ring> manual(&f.plans, 0);
   for (int i = 0; i < 100; ++i) {
     manual.PushInsert(f.r, Tuple::Ints({i, i}));
   }
@@ -152,7 +157,7 @@ TEST(DeltaBatcherTest, CapacityDrivesFull) {
 
 TEST(DeltaBatcherTest, PushInsertsCountsTowardCapacity) {
   Fixture f;
-  DeltaBatcher<I64Ring> batcher(&f.tree, 4);
+  DeltaBatcher<I64Ring> batcher(&f.plans, 4);
   std::vector<Tuple> keys{Tuple::Ints({1, 1}), Tuple::Ints({2, 2}),
                           Tuple::Ints({1, 1}), Tuple::Ints({3, 3})};
   batcher.PushInserts(f.r, keys);

@@ -85,7 +85,7 @@ void CheckEquivalence(IvmEngine<Ring>& reference, IvmEngine<Ring>& batched,
   // of the machine's core count.
   ParallelExecutor<Ring> exec(&batched, &pool,
                               {.shards = threads});
-  DeltaBatcher<Ring> batcher(&batched.tree(), batch_size);
+  DeltaBatcher<Ring> batcher(&batched.plans(), batch_size);
   for (const Update& u : stream) {
     if (u.multiplicity > 0) {
       batcher.PushInsert(u.relation, u.key);
@@ -217,7 +217,7 @@ TEST(ExecParallelTest, IndicatorTreesFallBackToSequential) {
 
   ThreadPool pool(4);
   ParallelExecutor<RegressionRing> exec(&batched, &pool, {.shards = 4});
-  DeltaBatcher<RegressionRing> batcher(&batched.tree(), 200);
+  DeltaBatcher<RegressionRing> batcher(&batched.plans(), 200);
   for (const Update& u : stream) {
     if (u.multiplicity > 0) {
       batcher.PushInsert(u.relation, u.key);
