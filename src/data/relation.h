@@ -12,6 +12,7 @@
 #include "src/data/tuple.h"
 #include "src/rings/ring.h"
 #include "src/util/flat_hash_map.h"
+#include "src/util/group_table.h"
 #include "src/util/small_vector.h"
 
 namespace fivm {
@@ -112,152 +113,155 @@ class Relation {
     index_.Reserve(n);
   }
 
-  /// Primary key index: open addressing over {cached hash, slot} cells.
-  /// Keys live only in the entry vector (memory-pooled records); the index
-  /// never stores a second copy. Probes compare the cached 64-bit hashes
-  /// first and touch an entry key only on a hash match, so a miss never
-  /// leaves the 16-byte cell array. There is no deletion: zero-payload
-  /// entries are tombstoned in place and dropped at compaction, which
-  /// rebuilds the index from scratch.
-  ///
-  /// Probing is triangular quadratic (step 1, 2, 3, … — visits every cell
-  /// of a power-of-two table exactly once): unlike the linear probing this
-  /// index started with, consecutive inserts whose hashes land on adjacent
-  /// home cells scatter instead of forming collision runs, removing the
-  /// primary-clustering failure mode under home-cell-ordered bulk absorbs
-  /// (measurements and the revised conclusion live in the note in
-  /// relation_ops.h).
+  /// The primary-index capacity this relation would occupy after
+  /// Reserve(n): with it, util::GroupHomeIndex gives the home group the
+  /// index will assign each key — the sort key of home-cell-clustered bulk
+  /// absorbs (relation_ops.h).
+  size_t IndexCapacityAfterReserve(size_t n) const {
+    return index_.CapacityAfterReserve(n);
+  }
+
+  /// Presizes for absorbing up to `added` more keys: the index grows to its
+  /// final capacity up front (so a bulk absorb never rehashes mid-stream,
+  /// which would also re-home a clustered absorb's sort order), while the
+  /// entry vector grows geometrically — an exact reserve per absorb would
+  /// defeat the doubling guarantee and turn repeated absorbs quadratic.
+  void ReserveForAbsorb(size_t added) {
+    size_t needed = entries_.size() + added;
+    if (needed > entries_.capacity()) {
+      entries_.reserve(std::max(needed, entries_.capacity() * 2));
+    }
+    index_.Reserve(entries_.size() + added);
+  }
+
+  /// Primary key index: the shared SwissTable core (util::GroupTable) over
+  /// 8-byte {slot, low hash bits} cells. Keys live only in the entry
+  /// vector (memory-pooled records); the index stores no key copy and only
+  /// the low 32 bits of the cached key hash — which contain the 7-bit H2
+  /// tag (bits 0-6) and 25 bits of H1 (bits 7-31), enough to re-derive a
+  /// cell's home group and tag at any capacity this engine reaches (up to
+  /// 2^25 groups = half a billion slots), so rehashes stay a sequential
+  /// cell-array pass that never touches entries. A probe scans one 16-byte
+  /// control group for the H2 tag, confirms tag matches against the
+  /// cell's 32 hash bits, and loads the entry key only when those agree
+  /// (a true hit — Tuple::operator== then re-checks the full cached hash
+  /// first — or a ~2^-32 coincidence); a miss usually never leaves the
+  /// control array. At 9 bytes per slot the index is ~1.9× denser than
+  /// the {64-bit hash, slot} cells it replaces, which keeps both index
+  /// lines cache-resident against multi-megabyte stores. There is no
+  /// deletion: zero-payload entries are tombstoned in place and dropped
+  /// at compaction, which rebuilds the index from scratch.
   class SlotIndex {
    public:
     static constexpr uint32_t kNoSlot = static_cast<uint32_t>(-1);
 
+    /// Moves leave the source a valid *empty* index (GroupTable's move
+    /// resets the source's bookkeeping with the transferred arrays —
+    /// scratch-slot reuse Reset()s and refills moved-from relations).
     SlotIndex() = default;
     SlotIndex(const SlotIndex&) = default;
     SlotIndex& operator=(const SlotIndex&) = default;
+    SlotIndex(SlotIndex&&) noexcept = default;
+    SlotIndex& operator=(SlotIndex&&) noexcept = default;
 
-    /// Moves must leave the source a valid *empty* index: the cell vector
-    /// transfers, so the size/capacity/mask scalars have to reset with it
-    /// (a defaulted move would copy them and leave a lying index behind —
-    /// scratch-slot reuse Reset()s and refills moved-from relations).
-    SlotIndex(SlotIndex&& o) noexcept
-        : cells_(std::move(o.cells_)),
-          size_(o.size_),
-          capacity_(o.capacity_),
-          mask_(o.mask_) {
-      o.size_ = 0;
-      o.capacity_ = 0;
-      o.mask_ = 0;
-    }
-    SlotIndex& operator=(SlotIndex&& o) noexcept {
-      if (this == &o) return *this;
-      cells_ = std::move(o.cells_);
-      size_ = o.size_;
-      capacity_ = o.capacity_;
-      mask_ = o.mask_;
-      o.size_ = 0;
-      o.capacity_ = 0;
-      o.mask_ = 0;
-      return *this;
-    }
-
-    void clear() {
-      cells_.clear();
-      size_ = 0;
-      capacity_ = 0;
-      mask_ = 0;
-    }
+    void clear() { table_.Clear(); }
 
     /// Cells retained across Reset: above this, the table is dropped
-    /// instead of refilled — a slot that once served a huge batch must not
-    /// make every later tiny delta pay an O(max-capacity) fill, nor pin
-    /// megabytes of scratch for the owner's lifetime.
-    static constexpr size_t kResetKeepCells = size_t{1} << 14;  // 256 KB
+    /// instead of re-emptied — a slot that once served a huge batch must
+    /// not pin megabytes of scratch for the owner's lifetime.
+    static constexpr size_t kResetKeepCells = size_t{1} << 14;
 
-    /// Empties the index, keeping the allocated cell array when it is
-    /// moderately sized, so a reused scratch relation refills without
-    /// reallocating or growth-rehashing.
+    /// Empties the index, keeping the allocated arrays when moderately
+    /// sized, so a reused scratch relation refills without reallocating or
+    /// growth-rehashing. Re-emptying costs one control-byte memset (1
+    /// byte/slot); cells need no clearing — a slot is live only when its
+    /// control byte says so.
     void Reset() {
-      if (capacity_ == 0) return;
-      // Drop the table instead of refilling when it is oversized for the
-      // owner's lifetime, or grossly oversized for the *last* fill (<1/8
+      size_t capacity = table_.capacity();
+      if (capacity == 0) return;
+      // Drop the table instead when it is oversized for the owner's
+      // lifetime, or grossly oversized for the *last* fill (<1/8
       // occupancy): after one batch spike, at most one reset pays the
-      // full-capacity fill before the table resizes back to the working
-      // set. clear()'s vector keeps no capacity here — swap releases it.
-      if (capacity_ > kResetKeepCells ||
-          (capacity_ > 1024 && size_ * 8 < capacity_)) {
-        std::vector<Cell>().swap(cells_);
-        size_ = 0;
-        capacity_ = 0;
-        mask_ = 0;
+      // full-capacity refill before the table resizes back down.
+      if (capacity > kResetKeepCells ||
+          (capacity > 1024 && table_.size() * 8 < capacity)) {
+        table_.Clear();
         return;
       }
-      if (size_ == 0) return;  // every cell is already empty
-      std::fill(cells_.begin(), cells_.end(), Cell{0, kNoSlot});
-      size_ = 0;
+      table_.ResetKeepCapacity();
     }
 
+    /// Largest supported capacity: past 2^29 slots (2^25 groups) the 25 H1
+    /// bits stored in hash_lo could no longer reproduce a cell's home
+    /// group at rehash time, silently unfinding keys. Asserted after every
+    /// growth-capable operation so the documented limit fails loudly.
+    static constexpr size_t kMaxCells = size_t{1} << 29;
+
     void Reserve(size_t n) {
-      size_t needed = util::HashReserveCapacity(n);
-      if (needed > capacity_) Rehash(util::HashCapacityPow2(needed));
+      table_.Reserve(n, CellHash);
+      assert(table_.capacity() <= kMaxCells);
+    }
+
+    /// The capacity the index would occupy after Reserve(n) — the mask the
+    /// home-cell-clustered absorb path (relation_ops.h) sorts against.
+    size_t CapacityAfterReserve(size_t n) const {
+      return table_.CapacityAfterReserve(n);
     }
 
     /// Slot of the entry whose key equals `key`, or kNoSlot. `key` may be a
-    /// Tuple or a TupleView; either way its hash is already cached.
+    /// Tuple or a TupleView; either way its hash is already cached, and the
+    /// stored side's hash lives in the entry's key (compared first by
+    /// Tuple::operator==).
     template <typename K>
     uint32_t Lookup(const K& key, const std::vector<Entry>& entries) const {
-      if (size_ == 0) return kNoSlot;
       uint64_t h = key.Hash();
-      size_t idx = h & mask_;
-      size_t step = 0;
-      while (cells_[idx].slot != kNoSlot) {
-        if (cells_[idx].hash == h && entries[cells_[idx].slot].key == key) {
-          return cells_[idx].slot;
-        }
-        idx = (idx + ++step) & mask_;
-      }
+      const uint32_t h_lo = static_cast<uint32_t>(h);
+      const Cell* c = table_.Find(h, [&](const Cell& cell) {
+        return cell.hash_lo == h_lo && entries[cell.slot].key == key;
+      });
+      return c == nullptr ? kNoSlot : c->slot;
+    }
+
+    /// One-pass find-or-insert: returns the slot already indexed under
+    /// `key`, or records `new_slot` for it and returns kNoSlot (the caller
+    /// then appends the entry at `new_slot`). Probes once where the old
+    /// Lookup-then-Insert pair probed twice.
+    template <typename K>
+    uint32_t LookupOrInsert(const K& key, const std::vector<Entry>& entries,
+                            uint32_t new_slot) {
+      uint64_t h = key.Hash();
+      const uint32_t h_lo = static_cast<uint32_t>(h);
+      auto [cell, inserted] = table_.FindOrInsert(
+          h,
+          [&](const Cell& c) {
+            return c.hash_lo == h_lo && entries[c.slot].key == key;
+          },
+          CellHash);
+      assert(table_.capacity() <= kMaxCells);
+      if (!inserted) return cell->slot;
+      *cell = Cell{new_slot, h_lo};
       return kNoSlot;
     }
 
-    /// Records `slot` under `hash`. The caller guarantees the key is not
-    /// present.
-    void Insert(uint64_t hash, uint32_t slot) {
-      if (util::HashNeedsGrowth(size_, capacity_)) {
-        Rehash(capacity_ == 0 ? 8 : capacity_ * 2);
-      }
-      Place(hash, slot);
-      ++size_;
-    }
+    /// Starts the line fetches a Lookup of `hash` would wait on.
+    void PrefetchProbe(uint64_t hash) const { table_.PrefetchProbe(hash); }
 
-    size_t ApproxBytes() const { return capacity_ * sizeof(Cell); }
+    size_t ApproxBytes() const { return table_.ApproxBytes(); }
 
    private:
     struct Cell {
-      uint64_t hash;
       uint32_t slot;
+      uint32_t hash_lo;  // low 32 bits of the key hash: H2 + 25 H1 bits
     };
 
-    void Place(uint64_t hash, uint32_t slot) {
-      size_t idx = hash & mask_;
-      size_t step = 0;
-      while (cells_[idx].slot != kNoSlot) idx = (idx + ++step) & mask_;
-      cells_[idx] = Cell{hash, slot};
+    // Rehash placement needs only the home group and tag, both contained
+    // in the stored low hash bits (valid while capacity ≤ 2^29 slots);
+    // entries are never touched.
+    static uint64_t CellHash(const Cell& c) {
+      return static_cast<uint64_t>(c.hash_lo);
     }
 
-    // Redistributes {hash, slot} cells; never touches keys.
-    void Rehash(size_t new_capacity) {
-      std::vector<Cell> old = std::move(cells_);
-      capacity_ = new_capacity;
-      mask_ = capacity_ - 1;
-      cells_.assign(capacity_, Cell{0, kNoSlot});
-      for (const Cell& c : old) {
-        if (c.slot != kNoSlot) Place(c.hash, c.slot);
-      }
-    }
-
-    std::vector<Cell> cells_;
-    size_t size_ = 0;
-    size_t capacity_ = 0;
-    size_t mask_ = 0;
+    util::GroupTable<Cell> table_;
   };
 
   /// Adds `delta` to the payload of `key` (⊎ of a singleton). Creates the
@@ -284,6 +288,12 @@ class Relation {
   bool Contains(const K& key) const {
     return Find(key) != nullptr;
   }
+
+  /// Starts the primary-index line fetches a Find of a key hashing to
+  /// `hash` would wait on. Join loops prefetch a few probes ahead so
+  /// independent probes' memory latency overlaps (software pipelining);
+  /// see the full-key paths in relation_ops.h.
+  void PrefetchFind(uint64_t hash) const { index_.PrefetchProbe(hash); }
 
   /// Iterates over live entries: `fn(const Tuple&, const Element&)`.
   template <typename Fn>
@@ -424,7 +434,8 @@ class Relation {
   template <typename K>
   void AddImpl(K&& key, Element delta) {
     if (Ring::IsZero(delta)) return;
-    uint32_t slot = index_.Lookup(key, entries_);
+    uint32_t new_slot = static_cast<uint32_t>(entries_.size());
+    uint32_t slot = index_.LookupOrInsert(key, entries_, new_slot);
     if (slot != SlotIndex::kNoSlot) {
       Entry& e = entries_[slot];
       bool was_zero = Ring::IsZero(e.payload);
@@ -437,11 +448,11 @@ class Relation {
       }
       return;
     }
-    slot = static_cast<uint32_t>(entries_.size());
+    // The index already records new_slot (one probe for lookup + insert);
+    // fill the entry it points at.
     entries_.push_back(Entry{std::forward<K>(key), std::move(delta)});
-    index_.Insert(entries_[slot].key.Hash(), slot);
     for (auto& sec : secondary_) {
-      sec->Append(entries_[slot].key, slot);
+      sec->Append(entries_[new_slot].key, new_slot);
     }
     ++live_;
   }

@@ -2,8 +2,12 @@
 #define FIVM_DATA_RELATION_OPS_H_
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cassert>
+#include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "src/data/op_specs.h"
 #include "src/data/relation.h"
@@ -97,6 +101,43 @@ Relation<Ring> Marginalize(const Relation<Ring>& rel, const Schema& marg,
                      lifts);
 }
 
+/// The shared inner loop of the full-key join paths: visits `left`'s live
+/// entries in slot order and calls `on_hit(entry, right_payload)` for each
+/// one whose full key matches in `right`'s primary index. Probes are
+/// software-pipelined in batches of 8 — hash + prefetch first, probe after
+/// — so independent probes' index-line latency overlaps instead of
+/// serializing per probe (the hit path is a dependent ctrl→cell→entry
+/// chain); the probe view is re-materialized with its precomputed hash.
+template <typename Ring, typename Positions, typename OnHit>
+void ForEachFullKeyMatch(const Relation<Ring>& left,
+                         const Relation<Ring>& right,
+                         const Positions& right_key_pos, OnHit&& on_hit) {
+  const uint32_t n_slots = static_cast<uint32_t>(left.SlotCount());
+  constexpr uint32_t kPipe = 8;
+  uint32_t batch[kPipe];
+  uint64_t batch_hash[kPipe];
+  uint32_t bn = 0;
+  auto flush = [&] {
+    for (uint32_t j = 0; j < bn; ++j) {
+      const auto& e = left.EntryAt(batch[j]);
+      const typename Ring::Element* rp =
+          right.Find(TupleView(e.key, right_key_pos, batch_hash[j]));
+      if (rp != nullptr) on_hit(e, *rp);
+    }
+    bn = 0;
+  };
+  for (uint32_t i = 0; i < n_slots; ++i) {
+    const auto& e = left.EntryAt(i);
+    if (Ring::IsZero(e.payload)) continue;
+    uint64_t h = TupleView(e.key, right_key_pos).Hash();
+    right.PrefetchFind(h);
+    batch[bn] = i;
+    batch_hash[bn] = h;
+    if (++bn == kPipe) flush();
+  }
+  flush();
+}
+
 /// ⊗ with a precompiled spec, appending into `out`.
 template <typename Ring>
 void JoinInto(Relation<Ring>& out, const Relation<Ring>& left,
@@ -123,14 +164,16 @@ void JoinInto(Relation<Ring>& out, const Relation<Ring>& left,
       return;
     case JoinKind::kFullKeyPrimary:
       // The join key covers the whole right schema: at most one match per
-      // left entry, found through right's primary index. No secondary index
-      // is built (or maintained by later absorbs into `right`), and the
-      // output schema equals left's, so keys pass through unchanged.
+      // left entry, found through right's primary index (pipelined — see
+      // ForEachFullKeyMatch). No secondary index is built (or maintained
+      // by later absorbs into `right`), and the output schema equals
+      // left's, so keys pass through unchanged.
       out.Reserve(left.size());
-      left.ForEach([&](const Tuple& lk, const Element& lp) {
-        const Element* rp = right.Find(TupleView(lk, spec.right_key_pos));
-        if (rp != nullptr) out.Add(lk, Ring::Mul(lp, *rp));
-      });
+      ForEachFullKeyMatch(
+          left, right, spec.right_key_pos,
+          [&](const typename Relation<Ring>::Entry& e, const Element& rp) {
+            out.Add(e.key, Ring::Mul(e.payload, rp));
+          });
       return;
     case JoinKind::kSecondaryProbe: {
       const auto& right_index = right.IndexOn(spec.common);
@@ -212,18 +255,21 @@ void JoinAndMarginalizeInto(Relation<Ring>& out, const Relation<Ring>& left,
     case JoinKind::kFullKeyPrimary:
       // Full-key probe: the join key covers the whole right schema, so each
       // left entry has at most one partner, located through right's primary
-      // index — no secondary index to build here or to maintain on every
-      // later absorb into `right`. Every output and lifted variable then
-      // lives on the left (out_src/lifted prefer the left position), so the
-      // right key is never dereferenced and `lk` stands in for it.
+      // index (pipelined — see ForEachFullKeyMatch) — no secondary index to
+      // build here or to maintain on every later absorb into `right`.
+      // Every output and lifted variable then lives on the left
+      // (out_src/lifted prefer the left position), so the right key is
+      // never dereferenced and the left key stands in for it.
       out.Reserve(left.size());
-      left.ForEach([&](const Tuple& lk, const Element& lp) {
-        const Element* rp = right.Find(TupleView(lk, spec.right_key_pos));
-        if (rp == nullptr) return;
-        scratch.Clear();
-        for (const auto& src : spec.out_src) scratch.Append(lk[src.pos]);
-        out.Add(scratch, term(lk, lp, lk, *rp));
-      });
+      ForEachFullKeyMatch(
+          left, right, spec.right_key_pos,
+          [&](const typename Relation<Ring>::Entry& e, const Element& rp) {
+            scratch.Clear();
+            for (const auto& src : spec.out_src) {
+              scratch.Append(e.key[src.pos]);
+            }
+            out.Add(scratch, term(e.key, e.payload, e.key, rp));
+          });
       return;
     case JoinKind::kSecondaryProbe: {
       const auto& right_index = right.IndexOn(spec.common);
@@ -316,12 +362,129 @@ Relation<Ring> Reordered(Relation<Ring>&& rel, const Schema& target) {
   return out;
 }
 
+/// Home-cell-clustered absorbs: deltas with at least
+/// ClusteredAbsorbMinKeys() live keys are absorbed in ascending
+/// destination home-group-range order (coarse stable counting partition of
+/// slot ids), so each bucket's FindOrInsert probes land in one
+/// cache-resident slice of the store's control/cell arrays.
+///
+/// Measured verdict (BM_AbsorbHashOrdered, this container, medians of
+/// interleaved in-process rows): the *sweep itself* is real — absorbing
+/// keys already in home order runs 1.1×/1.13×/1.7× faster than arrival
+/// order at 2k/16k/190k keys into a ~3× larger store (order 2 vs 0). But
+/// every scheme that establishes the order inside the absorb gives the win
+/// back: a full std::sort of the fat tuple keys, a counting-sorted entry
+/// scatter, and the id-partition + gather all measured at or slightly
+/// below arrival order end-to-end (order 1/3 vs 0) — the permutation's
+/// random pass over ~100-byte entries costs about what the destination
+/// locality saves, on both L3-resident (this box: 260 MB shared L3) and
+/// DRAM-bound working sets. The PR2/PR3-era ROADMAP note ("home-ordered
+/// absorbs ~1.7× faster — ready win") measured the sweep with the sort
+/// *outside* the timed region; end-to-end it is a wash.
+///
+/// The mechanism therefore ships complete but DISABLED by default
+/// (cutover = SIZE_MAX): correctness is exercised by tests that pin the
+/// cutover low, the tradeoff is re-measurable per deployment with
+/// BM_AbsorbHashOrdered order 3 vs 0, and callers that can produce
+/// home-ordered deltas for free (the only profitable case) get the swept
+/// insert path just by ordering their input.
+inline constexpr size_t kClusteredAbsorbDisabled = static_cast<size_t>(-1);
+
+/// Runtime cutover knob (relaxed atomic: the exec layer absorbs from
+/// multiple threads' batches). Tests and per-deployment tuning lower it;
+/// default keeps clustering off per the measurement note above.
+inline std::atomic<size_t>& ClusteredAbsorbMinKeys() {
+  static std::atomic<size_t> v{kClusteredAbsorbDisabled};
+  return v;
+}
+
+/// Same-layout absorbs at or above this many delta keys presize the store
+/// (ReserveForAbsorb) so the bulk insert proceeds at one final index
+/// capacity with no mid-absorb growth rehash; below it, presizing is all
+/// overhead (the capacity check is not free and small deltas rarely grow
+/// the store).
+inline constexpr size_t kPresizeAbsorbMinKeys = 1024;
+
+/// Per-bucket byte budget for the destination's control + cell region
+/// under clustered absorbs: small enough to sit in L2 while a bucket
+/// absorbs, large enough that the partition stays coarse.
+inline constexpr size_t kClusteredAbsorbBucketBytes = size_t{128} << 10;
+
+/// The coarse home-range scatter plan of `delta`'s live slots for absorbing
+/// into `store`. Presizes the store (the absorb then proceeds at one final
+/// index capacity — no mid-stream rehash, which would also re-home the
+/// clustering) and fills `order` with delta's live slot ids partitioned by
+/// ascending destination home-group range, slot-ascending within a bucket
+/// (stable counting partition — deterministic by construction). Only slot
+/// ids move (4 bytes each): materializing or fully sorting the fat entries
+/// themselves was measured to cost more than the locality it buys; the
+/// stable partition keeps each bucket's source reads monotone in slot
+/// order, so the gather stays prefetch-friendly while all destination
+/// writes of a bucket land in one cache-resident index slice. Returns
+/// false when one bucket would cover the whole destination (it is
+/// cache-resident anyway; absorb in arrival order).
+template <typename Ring>
+bool HomeClusteredAbsorbOrder(Relation<Ring>& store,
+                              const Relation<Ring>& delta,
+                              std::vector<uint32_t>& order) {
+  std::vector<uint32_t> ids;
+  ids.reserve(delta.size());
+  const uint32_t n_slots = static_cast<uint32_t>(delta.SlotCount());
+  for (uint32_t s = 0; s < n_slots; ++s) {
+    if (!Ring::IsZero(delta.EntryAt(s).payload)) ids.push_back(s);
+  }
+  store.ReserveForAbsorb(ids.size());
+  const size_t cap = store.IndexCapacityAfterReserve(0);
+  const size_t groups = cap / util::kGroupWidth;
+
+  // One bucket spans groups/B consecutive home groups; its destination
+  // ctrl+cell footprint is cap/B * ~17 bytes.
+  size_t buckets = 1;
+  while (buckets < 1024 && buckets < groups &&
+         cap * 17 / buckets > kClusteredAbsorbBucketBytes) {
+    buckets <<= 1;
+  }
+  if (buckets <= 1) return false;
+  const size_t shift = std::countr_zero(groups / buckets);
+
+  std::vector<uint16_t> bucket_of(ids.size());
+  std::vector<uint32_t> cnt(buckets + 1, 0);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    size_t home = util::GroupHomeIndex(delta.EntryAt(ids[i]).key.Hash(), cap);
+    bucket_of[i] = static_cast<uint16_t>(home >> shift);
+    ++cnt[bucket_of[i] + 1];
+  }
+  for (size_t b = 1; b <= buckets; ++b) cnt[b] += cnt[b - 1];
+  order.resize(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    order[cnt[bucket_of[i]]++] = ids[i];
+  }
+  return true;
+}
+
 /// Adds `delta` into `store`, re-ordering key columns if the two schemas use
-/// a different positional layout. The schemas must be equal as sets.
+/// a different positional layout. The schemas must be equal as sets. Large
+/// same-layout deltas absorb home-cell-clustered and presized (no
+/// mid-absorb rehash): the key/payload copy each Add performs anyway is
+/// routed through the bucketed scratch vector instead, and the per-bucket
+/// absorbs then hit a cache-resident slice of the destination index.
 template <typename Ring>
 void AbsorbInto(Relation<Ring>& store, const Relation<Ring>& delta) {
   assert(store.schema().SameSet(delta.schema()));
   if (store.schema() == delta.schema()) {
+    std::vector<uint32_t> order;
+    if (delta.size() >=
+            ClusteredAbsorbMinKeys().load(std::memory_order_relaxed) &&
+        HomeClusteredAbsorbOrder(store, delta, order)) {
+      for (uint32_t s : order) {
+        const auto& e = delta.EntryAt(s);
+        store.Add(e.key, e.payload);
+      }
+      return;
+    }
+    if (delta.size() >= kPresizeAbsorbMinKeys) {
+      store.ReserveForAbsorb(delta.size());
+    }
     store.UnionWith(delta);
     return;
   }
@@ -333,7 +496,10 @@ void AbsorbInto(Relation<Ring>& store, const Relation<Ring>& delta) {
 
 /// Move-aware absorb: consumes `delta`, re-homing keys and payloads instead
 /// of copying them. When the store is empty and the layouts match, this is
-/// a single relation move (the common "fill a fresh store" case).
+/// a single relation move (the common "fill a fresh store" case); large
+/// staged deltas (the ParallelExecutor merge path and the sequential
+/// trigger's store absorbs) absorb home-cell-clustered, paying one extra
+/// sequential entry-move pass for cache-resident destination writes.
 template <typename Ring>
 void AbsorbInto(Relation<Ring>& store, Relation<Ring>&& delta) {
   assert(store.schema().SameSet(delta.schema()));
@@ -341,6 +507,19 @@ void AbsorbInto(Relation<Ring>& store, Relation<Ring>&& delta) {
     if (store.empty()) {
       store = std::move(delta);
       return;
+    }
+    std::vector<uint32_t> order;
+    if (delta.size() >=
+            ClusteredAbsorbMinKeys().load(std::memory_order_relaxed) &&
+        HomeClusteredAbsorbOrder(store, delta, order)) {
+      auto entries = delta.TakeEntries();
+      for (uint32_t s : order) {
+        store.Add(std::move(entries[s].key), std::move(entries[s].payload));
+      }
+      return;
+    }
+    if (delta.size() >= kPresizeAbsorbMinKeys) {
+      store.ReserveForAbsorb(delta.size());
     }
     for (auto& e : delta.TakeEntries()) {
       if (Ring::IsZero(e.payload)) continue;
@@ -375,22 +554,17 @@ bool ContentEquals(const Relation<Ring>& a, const Relation<Ring>& b) {
   return equal;
 }
 
-// Historical note (PR 2, revised in PR 3): under *linear* probing, absorbing
-// a large delta in ascending key-hash order was recorded as ~2× slower than
-// arrival order on the live fig13 stores (primary clustering). SlotIndex
-// has since moved to triangular quadratic probing (relation.h), and the
-// claim was re-measured with BM_AbsorbHashOrdered
-// (bench/bench_micro_relation.cc; 190k-key absorb into a 580k-key store,
-// keys sorted by home cell — hash & mask, the LOW bits — within-process
-// A/B, median of 3). Result: the home-cell sweep is ~1.7× FASTER than
-// arrival order under both schemes (quadratic 31.2 vs 49.9 ms; linear 29.7
-// vs 53.5 ms) — sequential home cells are cache-friendly, and at ≤75% load
-// the cache wins dominate any clustering; the historical 2× penalty does
-// not reproduce in this harness. Conclusion: the PR2-era "absorbs must stay
-// in arrival order" constraint is lifted — hash/probe-ordered bulk absorbs
-// are not just safe but preferable — and quadratic probing stays as cheap
-// insurance against clustering pathologies the standalone harness cannot
-// reproduce.
+// Historical note (PR 2 → PR 4): under the seed's linear probing, absorbing
+// in ascending key-hash order was recorded as ~2× slower than arrival
+// order (primary clustering); PR 3's quadratic probing lifted that and
+// re-measured the home-cell sweep as ~1.7× FASTER than arrival order —
+// with the sort outside the timed region. PR 4 (SwissTable core) re-ran
+// the question end-to-end, ordering cost included, and the conclusion
+// inverted again: the sweep's win survives (order 2 of
+// BM_AbsorbHashOrdered), but no in-absorb ordering scheme keeps it — see
+// the ClusteredAbsorbMinKeys() note above. The three-PR arc is a useful
+// caution: "X is faster" claims about this substrate must name what the
+// timed region includes.
 
 /// Converts a relation between rings by mapping payloads through `fn`.
 template <typename ToRing, typename FromRing, typename Fn>

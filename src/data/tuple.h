@@ -131,6 +131,17 @@ class TupleView {
   TupleView(const Tuple& base, const Positions& positions)
       : TupleView(base, positions.data(), positions.size()) {}
 
+  /// Re-materializes a view whose hash was already computed (pipelined
+  /// probe loops construct the view once for the hash, prefetch, and
+  /// rebuild it at probe time without re-folding). `hash` MUST equal the
+  /// hash the ordinary constructor would produce for (base, positions).
+  template <typename Positions>
+  TupleView(const Tuple& base, const Positions& positions, uint64_t hash)
+      : base_(&base),
+        positions_(positions.data()),
+        n_(positions.size()),
+        hash_(hash) {}
+
   size_t size() const { return n_; }
   bool empty() const { return n_ == 0; }
 

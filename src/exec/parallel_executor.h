@@ -104,8 +104,13 @@ class ParallelExecutor {
     const auto& part_pos = plan.partition_positions();
     std::vector<Relation<Ring>> shard_delta;
     shard_delta.reserve(shards);
+    // Presize each shard for its expected share of the batch (hash
+    // partitioning spreads keys near-uniformly), so the partition loop
+    // runs without mid-batch rehashes; the 2× slack absorbs skew.
+    const size_t per_shard = delta.size() / shards * 2 + 16;
     for (size_t s = 0; s < shards; ++s) {
       shard_delta.emplace_back(leaf_schema);
+      shard_delta[s].Reserve(per_shard);
     }
     for (auto& e : delta.TakeEntries()) {
       if (Ring::IsZero(e.payload)) continue;

@@ -1,40 +1,29 @@
 #ifndef FIVM_UTIL_FLAT_HASH_MAP_H_
 #define FIVM_UTIL_FLAT_HASH_MAP_H_
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
-#include <vector>
+
+#include "src/util/group_table.h"
 
 namespace fivm::util {
 
-/// Shared sizing policy for the open-addressing tables (FlatHashMap and
-/// Relation::SlotIndex): power-of-two capacities with an 8-slot floor and a
-/// 3/4 load factor.
-inline size_t HashCapacityPow2(size_t n) {
-  size_t p = 8;
-  while (p < n) p <<= 1;
-  return p;
-}
-
-inline size_t HashReserveCapacity(size_t n) { return n + n / 2 + 1; }
-
-inline bool HashNeedsGrowth(size_t size, size_t capacity) {
-  return capacity == 0 || (size + 1) * 4 >= capacity * 3;
-}
-
-/// Open-addressing hash map with linear probing and backward-shift deletion.
+/// Hash map over the shared SwissTable probing core (util::GroupTable):
+/// open addressing with a separate control-byte array, 16-slot group scans
+/// and H1/H2 hash splitting — see group_table.h for the layout and
+/// deletion policy.
 ///
-/// This is the workhorse index structure behind `Relation` (the paper's
-/// multi-indexed maps with memory-pooled records). Compared to
-/// std::unordered_map it avoids per-node allocations and pointer chasing,
-/// which dominate IVM delta processing where each update tuple performs a
-/// handful of point lookups.
+/// This is the workhorse index structure behind `Relation`'s secondary
+/// indexes (the paper's multi-indexed maps with memory-pooled records).
+/// Compared to std::unordered_map it avoids per-node allocations and
+/// pointer chasing, which dominate IVM delta processing where each update
+/// tuple performs a handful of point lookups; most probes touch one
+/// 16-byte control group before any {key, value} slot is loaded.
 ///
 /// Requirements: `Hash` is a callable `uint64_t(const K&)`; `K` and `V` are
-/// default-constructible, movable, and `K` is equality-comparable. Any insert
-/// may rehash and invalidate references.
+/// default-constructible, movable, and `K` is equality-comparable. Any
+/// insert may rehash and invalidate references.
 template <typename K, typename V, typename Hash>
 class FlatHashMap {
  public:
@@ -46,40 +35,22 @@ class FlatHashMap {
   FlatHashMap() = default;
   explicit FlatHashMap(Hash hash) : hash_(std::move(hash)) {}
 
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
 
-  void clear() {
-    slots_.clear();
-    states_.clear();
-    size_ = 0;
-    capacity_ = 0;
-    mask_ = 0;
-  }
+  void clear() { table_.Clear(); }
 
   /// Returns the value mapped to `key`, default-constructing it if absent.
   V& operator[](const K& key) {
-    ReserveForInsert();
-    size_t idx = FindSlot(key);
-    if (states_[idx] != kFull) {
-      slots_[idx].key = key;
-      slots_[idx].value = V{};
-      states_[idx] = kFull;
-      ++size_;
-    }
-    return slots_[idx].value;
+    auto [slot, inserted] = FindOrInsert(key);
+    if (inserted) slot->key = key;
+    return slot->value;
   }
 
   V& operator[](K&& key) {
-    ReserveForInsert();
-    size_t idx = FindSlot(key);
-    if (states_[idx] != kFull) {
-      slots_[idx].key = std::move(key);
-      slots_[idx].value = V{};
-      states_[idx] = kFull;
-      ++size_;
-    }
-    return slots_[idx].value;
+    auto [slot, inserted] = FindOrInsert(key);
+    if (inserted) slot->key = std::move(key);
+    return slot->value;
   }
 
   /// Returns a pointer to the value for `key`, or nullptr if absent. `Q` is
@@ -89,13 +60,9 @@ class FlatHashMap {
   /// Tuple-keyed index). Allocation-free.
   template <typename Q>
   V* Find(const Q& key) {
-    if (size_ == 0) return nullptr;
-    size_t idx = hash_(key) & mask_;
-    while (true) {
-      if (states_[idx] != kFull) return nullptr;
-      if (slots_[idx].key == key) return &slots_[idx].value;
-      idx = (idx + 1) & mask_;
-    }
+    Slot* s = table_.Find(hash_(key),
+                          [&](const Slot& c) { return c.key == key; });
+    return s == nullptr ? nullptr : &s->value;
   }
 
   template <typename Q>
@@ -108,120 +75,53 @@ class FlatHashMap {
   /// Inserts (key, value); returns false if the key was already present (the
   /// stored value is untouched in that case).
   bool Insert(K key, V value) {
-    ReserveForInsert();
-    size_t idx = FindSlot(key);
-    if (states_[idx] == kFull) return false;
-    slots_[idx].key = std::move(key);
-    slots_[idx].value = std::move(value);
-    states_[idx] = kFull;
-    ++size_;
+    auto [slot, inserted] = FindOrInsert(key);
+    if (!inserted) return false;
+    slot->key = std::move(key);
+    slot->value = std::move(value);
     return true;
   }
 
-  /// Removes `key`. Returns true if it was present. Uses backward-shift
-  /// deletion, so no tombstones accumulate.
+  /// Removes `key`. Returns true if it was present. Deletion follows the
+  /// core's policy: re-empty when the group can prove no probe chain
+  /// passed, tombstone otherwise; rehashes purge all tombstones.
   bool Erase(const K& key) {
-    if (size_ == 0) return false;
-    size_t idx = FindSlot(key);
-    if (states_[idx] != kFull) return false;
-    slots_[idx] = Slot{};
-    states_[idx] = kEmpty;
-    --size_;
-    size_t hole = idx;
-    size_t cur = (idx + 1) & mask_;
-    while (states_[cur] == kFull) {
-      size_t home = hash_(slots_[cur].key) & mask_;
-      // slots_[cur] may move into `hole` only if `hole` lies on its probe
-      // path, i.e. cyclically home <= hole <= cur.
-      bool movable;
-      if (hole <= cur) {
-        movable = (home <= hole) || (home > cur);
-      } else {
-        movable = (home <= hole) && (home > cur);
-      }
-      if (movable) {
-        slots_[hole] = std::move(slots_[cur]);
-        states_[hole] = kFull;
-        slots_[cur] = Slot{};
-        states_[cur] = kEmpty;
-        hole = cur;
-      }
-      cur = (cur + 1) & mask_;
-    }
-    return true;
+    return table_.Erase(hash_(key),
+                        [&](const Slot& c) { return c.key == key; });
   }
 
   /// Iterates over all live (key, value) pairs: `fn(const K&, V&)`.
   template <typename Fn>
   void ForEach(Fn&& fn) {
-    for (size_t i = 0; i < capacity_; ++i) {
-      if (states_[i] == kFull) fn(slots_[i].key, slots_[i].value);
-    }
+    table_.ForEachSlot([&](Slot& s) {
+      fn(const_cast<const K&>(s.key), s.value);
+    });
   }
 
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (size_t i = 0; i < capacity_; ++i) {
-      if (states_[i] == kFull) {
-        fn(slots_[i].key, static_cast<const V&>(slots_[i].value));
-      }
-    }
+    table_.ForEachSlot([&](const Slot& s) { fn(s.key, s.value); });
   }
 
-  void Reserve(size_t n) {
-    size_t needed = HashReserveCapacity(n);
-    if (needed > capacity_) Rehash(HashCapacityPow2(needed));
-  }
+  void Reserve(size_t n) { table_.Reserve(n, SlotHash()); }
 
   /// Approximate heap footprint, for memory accounting in benchmarks. Does
   /// not include heap memory owned by keys/values themselves.
-  size_t ApproxBytes() const {
-    return capacity_ * (sizeof(Slot) + sizeof(uint8_t));
-  }
+  size_t ApproxBytes() const { return table_.ApproxBytes(); }
 
  private:
-  enum : uint8_t { kEmpty = 0, kFull = 1 };
-
-  void ReserveForInsert() {
-    if (HashNeedsGrowth(size_, capacity_)) {
-      Rehash(capacity_ == 0 ? 8 : capacity_ * 2);
-    }
+  auto SlotHash() {
+    return [this](const Slot& s) { return hash_(s.key); };
   }
 
-  void Rehash(size_t new_capacity) {
-    std::vector<Slot> old_slots = std::move(slots_);
-    std::vector<uint8_t> old_states = std::move(states_);
-    size_t old_capacity = capacity_;
-
-    capacity_ = new_capacity;
-    mask_ = capacity_ - 1;
-    slots_.assign(capacity_, Slot{});
-    states_.assign(capacity_, kEmpty);
-
-    for (size_t i = 0; i < old_capacity; ++i) {
-      if (old_states[i] == kFull) {
-        size_t idx = FindSlot(old_slots[i].key);
-        slots_[idx] = std::move(old_slots[i]);
-        states_[idx] = kFull;
-      }
-    }
-  }
-
-  size_t FindSlot(const K& key) const {
-    size_t idx = hash_(key) & mask_;
-    while (true) {
-      if (states_[idx] != kFull) return idx;
-      if (slots_[idx].key == key) return idx;
-      idx = (idx + 1) & mask_;
-    }
+  template <typename Q>
+  std::pair<Slot*, bool> FindOrInsert(const Q& key) {
+    return table_.FindOrInsert(
+        hash_(key), [&](const Slot& c) { return c.key == key; }, SlotHash());
   }
 
   Hash hash_{};
-  std::vector<Slot> slots_;
-  std::vector<uint8_t> states_;
-  size_t size_ = 0;
-  size_t capacity_ = 0;
-  size_t mask_ = 0;
+  GroupTable<Slot> table_;
 };
 
 }  // namespace fivm::util

@@ -8,6 +8,7 @@ namespace {
 std::atomic<int64_t> g_current{0};
 std::atomic<int64_t> g_peak{0};
 std::atomic<int64_t> g_alloc_count{0};
+std::atomic<int64_t> g_rehash_count{0};
 std::atomic<bool> g_enabled{false};
 
 }  // namespace
@@ -27,6 +28,14 @@ int64_t MemoryTracker::PeakBytes() {
 void MemoryTracker::ResetPeak() {
   g_peak.store(g_current.load(std::memory_order_relaxed),
                std::memory_order_relaxed);
+}
+
+int64_t MemoryTracker::RehashCount() {
+  return g_rehash_count.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::RecordRehash() {
+  g_rehash_count.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool MemoryTracker::enabled() {

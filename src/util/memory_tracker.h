@@ -26,6 +26,13 @@ class MemoryTracker {
   /// Resets the peak to the current live byte count.
   static void ResetPeak();
 
+  /// Number of hash-table rehashes (growth or tombstone purge) since
+  /// process start, fed by util::GroupTable. Unlike the allocation
+  /// counters this needs no linked hooks — it counts in every binary, so
+  /// tests can prove that presized batch paths run rehash-free.
+  static int64_t RehashCount();
+  static void RecordRehash();
+
   /// True when the allocation hooks are linked into this binary.
   static bool enabled();
 

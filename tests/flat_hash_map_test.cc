@@ -66,9 +66,10 @@ TEST(FlatHashMapTest, GrowsThroughRehash) {
   }
 }
 
-TEST(FlatHashMapTest, BackshiftPreservesCluster) {
-  // With a 3-valued hash every key collides; erase from the middle of the
-  // cluster and verify all others remain findable.
+TEST(FlatHashMapTest, ErasePreservesCollidingCluster) {
+  // With a 3-valued hash every key collides into the same probe chain;
+  // erase from the middle (exercising the tombstone-vs-re-empty decision
+  // of the group core) and verify all others remain findable.
   FlatHashMap<int64_t, int64_t, CollidingHash> m;
   for (int64_t i = 0; i < 50; ++i) m.Insert(i, i);
   for (int64_t victim = 0; victim < 50; victim += 7) m.Erase(victim);

@@ -96,6 +96,37 @@ TEST(ZeroAllocProbeTest, JoinWithNoMatchesAllocatesNothing) {
   EXPECT_TRUE(out.empty());
 }
 
+// The SwissTable group-probe path (control-byte scan + H2 tag match before
+// any cell load, hit and miss alike, through both the primary index and a
+// FlatHashMap-backed secondary) performs zero heap allocations — the PR 1
+// acceptance property, re-asserted over the PR 4 hash core.
+TEST(ZeroAllocProbeTest, GroupProbePathIsAllocationFree) {
+  util::Rng rng(95);
+  auto rel = RandomRelation(Schema{0, 1}, 60000, 1 << 9, rng);
+  // Build probe keys (half hits, half misses) and the secondary index
+  // before counting.
+  std::vector<Tuple> keys;
+  keys.reserve(2048);
+  for (int i = 0; i < 1024; ++i) {
+    keys.push_back(Tuple::Ints({rng.UniformInt(0, (1 << 9) - 1),
+                                rng.UniformInt(0, (1 << 9) - 1)}));
+    keys.push_back(Tuple::Ints({rng.UniformInt(1 << 9, 1 << 10),
+                                rng.UniformInt(1 << 9, 1 << 10)}));
+  }
+  const auto& sec = rel.IndexOn(Schema{1});
+  auto pos1 = rel.schema().PositionsOf(Schema{1});
+
+  int64_t hits = 0;
+  int64_t before = util::MemoryTracker::AllocationCount();
+  for (const Tuple& k : keys) {
+    if (rel.Find(k) != nullptr) ++hits;
+    if (sec.Probe(TupleView(k, pos1)) != nullptr) ++hits;
+  }
+  int64_t after = util::MemoryTracker::AllocationCount();
+  EXPECT_EQ(after - before, 0);
+  EXPECT_GT(hits, 0);
+}
+
 // With matches, allocations are due to output materialization only
 // (amortized vector/table growth), not to probing: far fewer allocations
 // than probes.
