@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Builds Release and runs the perf-tracking benchmarks with fixed seeds,
-# merging the results into BENCH_PR4.json so every PR leaves a comparable
+# merging the results into BENCH_PR5.json so every PR leaves a comparable
 # perf trajectory. The PR1 scenario names (bench_micro_relation,
 # bench_micro_join, bench_fig13_triangle and their per-system rows) are
 # kept stable; PR2 added the bench_batch sweep (DeltaBatcher +
-# ParallelExecutor over fig13/fig7); PR4 adds the fig7 housing series and
-# the probe-hit/miss/insert/erase hash-core micros. Knobs (all optional):
-#   FIVM_BENCH_LABEL      result key in the JSON (default: pr4)
-#   FIVM_BENCH_OUT        output JSON path (default: <repo>/BENCH_PR4.json)
+# ParallelExecutor over fig13/fig7); PR4 added the fig7 housing series and
+# the probe-hit/miss/insert/erase hash-core micros; PR5 adds bench_ring
+# (ring kernels, scalar vs AVX2 dispatch arms). Knobs (all optional):
+#   FIVM_BENCH_LABEL      result key in the JSON (default: pr5)
+#   FIVM_BENCH_OUT        output JSON path (default: <repo>/BENCH_PR5.json)
 #   FIVM_BENCH_BUILD_DIR  build tree (default: <repo>/build-bench)
 #   FIVM_BENCH_SCALE      dataset scale for the figure harnesses (default 1)
 #   FIVM_BENCH_BUDGET_SEC per-strategy budget in seconds (default 20)
@@ -15,20 +16,22 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${FIVM_BENCH_BUILD_DIR:-$ROOT/build-bench}"
-OUT="${FIVM_BENCH_OUT:-$ROOT/BENCH_PR4.json}"
-LABEL="${FIVM_BENCH_LABEL:-pr4}"
+OUT="${FIVM_BENCH_OUT:-$ROOT/BENCH_PR5.json}"
+LABEL="${FIVM_BENCH_LABEL:-pr5}"
 export FIVM_BENCH_SCALE="${FIVM_BENCH_SCALE:-1}"
 export FIVM_BENCH_BUDGET_SEC="${FIVM_BENCH_BUDGET_SEC:-20}"
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
     bench_micro_relation bench_micro_join bench_fig13_triangle \
-    bench_fig7_housing bench_batch >/dev/null
+    bench_fig7_housing bench_batch bench_ring >/dev/null
 
 "$BUILD_DIR/bench/bench_micro_relation" \
     --benchmark_format=json > "$BUILD_DIR/micro_relation.json"
 "$BUILD_DIR/bench/bench_micro_join" \
     --benchmark_format=json > "$BUILD_DIR/micro_join.json"
+"$BUILD_DIR/bench/bench_ring" \
+    --benchmark_format=json > "$BUILD_DIR/ring.json"
 "$BUILD_DIR/bench/bench_fig13_triangle" | tee "$BUILD_DIR/fig13.txt"
 "$BUILD_DIR/bench/bench_fig7_housing" | tee "$BUILD_DIR/fig7.txt"
 "$BUILD_DIR/bench/bench_batch" | tee "$BUILD_DIR/batch.txt"
@@ -38,6 +41,7 @@ python3 "$ROOT/bench/collect_bench_json.py" \
     --out "$OUT" \
     --gbench bench_micro_relation="$BUILD_DIR/micro_relation.json" \
     --gbench bench_micro_join="$BUILD_DIR/micro_join.json" \
+    --gbench bench_ring="$BUILD_DIR/ring.json" \
     --series bench_fig13_triangle="$BUILD_DIR/fig13.txt" \
     --series bench_fig7_housing="$BUILD_DIR/fig7.txt" \
     --series bench_batch="$BUILD_DIR/batch.txt"

@@ -102,9 +102,9 @@ class FactorizedEnumerator {
     const auto* slots = index.Probe(key);
     if (slots == nullptr) return;
     for (uint32_t slot : *slots) {
-      const auto& entry = store.EntryAt(slot);
-      if (Ring::IsZero(entry.payload)) continue;
-      assignment[out_pos] = entry.key[static_cast<size_t>(var_pos_in_store)];
+      if (Ring::IsZero(store.PayloadAt(slot))) continue;
+      assignment[out_pos] =
+          store.KeyAt(slot)[static_cast<size_t>(var_pos_in_store)];
       Recurse(level + 1, assignment, fn);
     }
   }

@@ -21,17 +21,26 @@ namespace fivm {
 /// non-zero ring payloads (Section 2 of the paper). This is the storage unit
 /// of base relations, views, and deltas.
 ///
-/// Storage model: slot-stable entry vector + primary hash index + lazily
-/// built secondary indexes over key prefixes (DBToaster-style multi-indexed
-/// map). The allocation-free probe path (TupleView + heterogeneous lookup)
-/// relies on the following invariants:
+/// Storage model: a key/payload-*split* entry pool (SoA) + primary hash
+/// index + lazily built secondary indexes over key prefixes
+/// (DBToaster-style multi-indexed map). Slot `i`'s key lives in `keys_[i]`
+/// (the Tuple carries its cached 64-bit hash inline) and its ring payload in
+/// `payloads_[i]` — two parallel arrays with a stable 1:1 slot mapping.
+/// The split exists for the payload-heavy passes: zero-sweeps, absorb
+/// merges, and ring accumulation stream the payload pool without dragging
+/// ~80-byte tuple keys through cache, and the wide-double ring kernels
+/// (src/util/simd.h) then run over contiguous payload storage. Index probes
+/// conversely touch only the key array until a hit needs its payload.
 ///
-///  - *Slot stability*: an entry's slot (its position in the entry vector)
-///    never changes while the relation is alive, except across compaction,
-///    which renumbers slots and rebuilds every index. Probe results
-///    (slot lists) are therefore valid only until the next Add().
+/// The allocation-free probe path (TupleView + heterogeneous lookup) relies
+/// on the following invariants:
+///
+///  - *Slot stability*: an entry's slot (its position in the parallel
+///    arrays) never changes while the relation is alive, except across
+///    compaction, which renumbers slots and rebuilds every index. Probe
+///    results (slot lists) are therefore valid only until the next Add().
 ///  - *Tombstone skipping*: entries whose payload becomes zero are
-///    tombstoned lazily — they stay in the entry vector and in all indexes;
+///    tombstoned lazily — they stay in the pool and in all indexes;
 ///    iteration and `Find` skip them, and secondary-index probe results may
 ///    include them, so probe loops must test `Ring::IsZero` per slot.
 ///  - *Hash caching*: every stored key carries its 64-bit hash (computed
@@ -47,25 +56,22 @@ class Relation {
  public:
   using Element = typename Ring::Element;
 
-  struct Entry {
-    Tuple key;
-    Element payload;
-  };
-
   Relation() = default;
   explicit Relation(Schema schema) : schema_(std::move(schema)) {}
 
   /// Copies contents but not secondary indexes (they rebuild lazily).
   Relation(const Relation& other)
       : schema_(other.schema_),
-        entries_(other.entries_),
+        keys_(other.keys_),
+        payloads_(other.payloads_),
         index_(other.index_),
         live_(other.live_) {}
 
   Relation& operator=(const Relation& other) {
     if (this == &other) return *this;
     schema_ = other.schema_;
-    entries_ = other.entries_;
+    keys_ = other.keys_;
+    payloads_ = other.payloads_;
     index_ = other.index_;
     secondary_.clear();
     secondary_by_schema_.clear();
@@ -81,7 +87,8 @@ class Relation {
   /// surrendered relations, so the source must stay coherent.
   Relation(Relation&& o) noexcept
       : schema_(std::move(o.schema_)),
-        entries_(std::move(o.entries_)),
+        keys_(std::move(o.keys_)),
+        payloads_(std::move(o.payloads_)),
         index_(std::move(o.index_)),
         secondary_(std::move(o.secondary_)),
         secondary_by_schema_(std::move(o.secondary_by_schema_)),
@@ -91,7 +98,8 @@ class Relation {
   Relation& operator=(Relation&& o) noexcept {
     if (this == &o) return *this;
     schema_ = std::move(o.schema_);
-    entries_ = std::move(o.entries_);
+    keys_ = std::move(o.keys_);
+    payloads_ = std::move(o.payloads_);
     index_ = std::move(o.index_);
     secondary_ = std::move(o.secondary_);
     secondary_by_schema_ = std::move(o.secondary_by_schema_);
@@ -106,10 +114,11 @@ class Relation {
   size_t size() const { return live_; }
   bool empty() const { return live_ == 0; }
 
-  /// Pre-sizes the entry vector and the primary index for `n` keys, so a
+  /// Pre-sizes the entry pool and the primary index for `n` keys, so a
   /// bulk of Add() calls proceeds without rehashing or reallocating.
   void Reserve(size_t n) {
-    entries_.reserve(n);
+    keys_.reserve(n);
+    payloads_.reserve(n);
     index_.Reserve(n);
   }
 
@@ -124,33 +133,36 @@ class Relation {
   /// Presizes for absorbing up to `added` more keys: the index grows to its
   /// final capacity up front (so a bulk absorb never rehashes mid-stream,
   /// which would also re-home a clustered absorb's sort order), while the
-  /// entry vector grows geometrically — an exact reserve per absorb would
+  /// pool arrays grow geometrically — an exact reserve per absorb would
   /// defeat the doubling guarantee and turn repeated absorbs quadratic.
   void ReserveForAbsorb(size_t added) {
-    size_t needed = entries_.size() + added;
-    if (needed > entries_.capacity()) {
-      entries_.reserve(std::max(needed, entries_.capacity() * 2));
+    size_t needed = keys_.size() + added;
+    if (needed > keys_.capacity()) {
+      size_t target = std::max(needed, keys_.capacity() * 2);
+      keys_.reserve(target);
+      payloads_.reserve(target);
     }
-    index_.Reserve(entries_.size() + added);
+    index_.Reserve(keys_.size() + added);
   }
 
   /// Primary key index: the shared SwissTable core (util::GroupTable) over
-  /// 8-byte {slot, low hash bits} cells. Keys live only in the entry
-  /// vector (memory-pooled records); the index stores no key copy and only
-  /// the low 32 bits of the cached key hash — which contain the 7-bit H2
-  /// tag (bits 0-6) and 25 bits of H1 (bits 7-31), enough to re-derive a
-  /// cell's home group and tag at any capacity this engine reaches (up to
-  /// 2^25 groups = half a billion slots), so rehashes stay a sequential
-  /// cell-array pass that never touches entries. A probe scans one 16-byte
-  /// control group for the H2 tag, confirms tag matches against the
-  /// cell's 32 hash bits, and loads the entry key only when those agree
-  /// (a true hit — Tuple::operator== then re-checks the full cached hash
-  /// first — or a ~2^-32 coincidence); a miss usually never leaves the
-  /// control array. At 9 bytes per slot the index is ~1.9× denser than
-  /// the {64-bit hash, slot} cells it replaces, which keeps both index
-  /// lines cache-resident against multi-megabyte stores. There is no
-  /// deletion: zero-payload entries are tombstoned in place and dropped
-  /// at compaction, which rebuilds the index from scratch.
+  /// 8-byte {slot, low hash bits} cells. Keys live only in the key pool;
+  /// the index stores no key copy and only the low 32 bits of the cached
+  /// key hash — which contain the 7-bit H2 tag (bits 0-6) and 25 bits of
+  /// H1 (bits 7-31), enough to re-derive a cell's home group and tag at any
+  /// capacity this engine reaches (up to 2^25 groups = half a billion
+  /// slots), so rehashes stay a sequential cell-array pass that never
+  /// touches entries. A probe scans one 16-byte control group for the H2
+  /// tag, confirms tag matches against the cell's 32 hash bits, and loads
+  /// the pool key only when those agree (a true hit — Tuple::operator==
+  /// then re-checks the full cached hash first — or a ~2^-32 coincidence);
+  /// a miss usually never leaves the control array, and with the split pool
+  /// a probe never touches payload storage at all. At 9 bytes per slot the
+  /// index is ~1.9× denser than the {64-bit hash, slot} cells it replaces,
+  /// which keeps both index lines cache-resident against multi-megabyte
+  /// stores. There is no deletion: zero-payload entries are tombstoned in
+  /// place and dropped at compaction, which rebuilds the index from
+  /// scratch.
   class SlotIndex {
    public:
     static constexpr uint32_t kNoSlot = static_cast<uint32_t>(-1);
@@ -210,14 +222,14 @@ class Relation {
 
     /// Slot of the entry whose key equals `key`, or kNoSlot. `key` may be a
     /// Tuple or a TupleView; either way its hash is already cached, and the
-    /// stored side's hash lives in the entry's key (compared first by
+    /// stored side's hash lives in the pool key (compared first by
     /// Tuple::operator==).
     template <typename K>
-    uint32_t Lookup(const K& key, const std::vector<Entry>& entries) const {
+    uint32_t Lookup(const K& key, const std::vector<Tuple>& keys) const {
       uint64_t h = key.Hash();
       const uint32_t h_lo = static_cast<uint32_t>(h);
       const Cell* c = table_.Find(h, [&](const Cell& cell) {
-        return cell.hash_lo == h_lo && entries[cell.slot].key == key;
+        return cell.hash_lo == h_lo && keys[cell.slot] == key;
       });
       return c == nullptr ? kNoSlot : c->slot;
     }
@@ -227,14 +239,14 @@ class Relation {
     /// then appends the entry at `new_slot`). Probes once where the old
     /// Lookup-then-Insert pair probed twice.
     template <typename K>
-    uint32_t LookupOrInsert(const K& key, const std::vector<Entry>& entries,
+    uint32_t LookupOrInsert(const K& key, const std::vector<Tuple>& keys,
                             uint32_t new_slot) {
       uint64_t h = key.Hash();
       const uint32_t h_lo = static_cast<uint32_t>(h);
       auto [cell, inserted] = table_.FindOrInsert(
           h,
           [&](const Cell& c) {
-            return c.hash_lo == h_lo && entries[c.slot].key == key;
+            return c.hash_lo == h_lo && keys[c.slot] == key;
           },
           CellHash);
       assert(table_.capacity() <= kMaxCells);
@@ -265,23 +277,29 @@ class Relation {
   };
 
   /// Adds `delta` to the payload of `key` (⊎ of a singleton). Creates the
-  /// entry if absent; tombstones it if the payload becomes zero. The rvalue
-  /// overload moves the key into the new entry instead of copying it.
-  void Add(const Tuple& key, Element delta) {
-    AddImpl(key, std::move(delta));
+  /// entry if absent; tombstones it if the payload becomes zero. Key and
+  /// payload are both perfect-forwarded: rvalues move into the pool, and a
+  /// payload passed by const reference is only *read* on the hit path
+  /// (Ring::AddInPlace) — the propagation term loops pass a reused scratch
+  /// element and pay no copy unless the key is new. `delta` must not alias
+  /// a payload stored in this relation.
+  template <typename E = Element>
+  void Add(const Tuple& key, E&& delta) {
+    AddImpl(key, std::forward<E>(delta));
   }
-  void Add(Tuple&& key, Element delta) {
-    AddImpl(std::move(key), std::move(delta));
+  template <typename E = Element>
+  void Add(Tuple&& key, E&& delta) {
+    AddImpl(std::move(key), std::forward<E>(delta));
   }
 
   /// Returns the payload of `key`, or nullptr if absent/zero. Also accepts
   /// a TupleView (allocation-free heterogeneous probe).
   template <typename K>
   const Element* Find(const K& key) const {
-    uint32_t slot = index_.Lookup(key, entries_);
+    uint32_t slot = index_.Lookup(key, keys_);
     if (slot == SlotIndex::kNoSlot) return nullptr;
-    const Entry& e = entries_[slot];
-    return Ring::IsZero(e.payload) ? nullptr : &e.payload;
+    const Element& p = payloads_[slot];
+    return Ring::IsZero(p) ? nullptr : &p;
   }
 
   template <typename K>
@@ -295,11 +313,14 @@ class Relation {
   /// see the full-key paths in relation_ops.h.
   void PrefetchFind(uint64_t hash) const { index_.PrefetchProbe(hash); }
 
-  /// Iterates over live entries: `fn(const Tuple&, const Element&)`.
+  /// Iterates over live entries: `fn(const Tuple&, const Element&)`. The
+  /// zero test streams the payload pool; keys are touched only for live
+  /// slots.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const Entry& e : entries_) {
-      if (!Ring::IsZero(e.payload)) fn(e.key, e.payload);
+    const size_t n = keys_.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (!Ring::IsZero(payloads_[i])) fn(keys_[i], payloads_[i]);
     }
   }
 
@@ -308,42 +329,55 @@ class Relation {
     other.ForEach([&](const Tuple& k, const Element& p) { Add(k, p); });
   }
 
-  /// Destructively extracts the entry vector (live entries and tombstones
-  /// alike; callers must skip zero payloads) and clears the relation. The
+  /// The destructively extracted entry pool of a relation: parallel
+  /// key/payload arrays (live entries and tombstones alike; consumers must
+  /// skip zero payloads).
+  struct Pool {
+    std::vector<Tuple> keys;
+    std::vector<Element> payloads;
+  };
+
+  /// Destructively extracts the entry pool and clears the relation. The
   /// move-aware absorb/reorder paths use this to re-home keys and payloads
-  /// without copying them.
-  std::vector<Entry> TakeEntries() {
-    std::vector<Entry> out = std::move(entries_);
+  /// without copying them; payload-only passes over the extracted pool
+  /// stream just the payload array.
+  Pool TakePool() {
+    Pool out{std::move(keys_), std::move(payloads_)};
     Clear();
     return out;
   }
 
   void Clear() {
-    entries_.clear();
+    keys_.clear();
+    payloads_.clear();
     index_.clear();
     secondary_.clear();
     secondary_by_schema_.clear();
     live_ = 0;
   }
 
-  /// Empties the relation and retargets it to `schema`, keeping the entry
-  /// vector's and the primary index's allocated capacity (up to the
+  /// Pool storage retained across Reset, as a byte budget (payloads are
+  /// ring-dependent and keys ~80 bytes, so the bound is on bytes, not
+  /// counts).
+  static constexpr size_t kResetKeepEntryBytes = size_t{1} << 18;  // 256 KB
+
+  /// Empties the relation and retargets it to `schema`, keeping the pool
+  /// arrays' and the primary index's allocated capacity (up to the
   /// SlotIndex::kResetKeepCells shrink guard — one outsized batch must not
   /// pin max-sized scratch forever). This is what makes a plan scratch slot
   /// reusable across propagation steps and batches: the next fill proceeds
   /// without reallocating or growth-rehashing. Secondary indexes are
   /// dropped (scratch relations are probe sources, not targets).
-  /// Entry storage retained across Reset, as a byte budget (entries are
-  /// ring-dependent and much larger than index cells, so the bound is on
-  /// bytes, not counts).
-  static constexpr size_t kResetKeepEntryBytes = size_t{1} << 18;  // 256 KB
-
   void Reset(const Schema& schema) {
     schema_ = schema;
-    if (entries_.capacity() * sizeof(Entry) > kResetKeepEntryBytes) {
-      entries_ = std::vector<Entry>();
+    if (keys_.capacity() * sizeof(Tuple) +
+            payloads_.capacity() * sizeof(Element) >
+        kResetKeepEntryBytes) {
+      keys_ = std::vector<Tuple>();
+      payloads_ = std::vector<Element>();
     } else {
-      entries_.clear();
+      keys_.clear();
+      payloads_.clear();
     }
     index_.Reset();
     secondary_.clear();
@@ -392,8 +426,8 @@ class Relation {
       return *secondary_[*pos];
     }
     auto sec = std::make_unique<SecondaryIndex>(schema_, sub);
-    for (uint32_t slot = 0; slot < entries_.size(); ++slot) {
-      sec->Append(entries_[slot].key, slot);
+    for (uint32_t slot = 0; slot < keys_.size(); ++slot) {
+      sec->Append(keys_[slot], slot);
     }
     secondary_by_schema_.Insert(sub,
                                 static_cast<uint32_t>(secondary_.size()));
@@ -413,34 +447,39 @@ class Relation {
     return secondary_by_schema_.Find(sub) != nullptr;
   }
 
-  const Entry& EntryAt(uint32_t slot) const { return entries_[slot]; }
+  /// Key / payload of entry slot `slot` (live or tombstoned — callers on
+  /// probe paths test Ring::IsZero on the payload first, which touches only
+  /// the payload pool).
+  const Tuple& KeyAt(uint32_t slot) const { return keys_[slot]; }
+  const Element& PayloadAt(uint32_t slot) const { return payloads_[slot]; }
 
   /// Number of entry slots including tombstones (for index probing).
-  size_t SlotCount() const { return entries_.size(); }
+  size_t SlotCount() const { return keys_.size(); }
 
-  /// Approximate heap footprint of entries plus all indexes.
+  /// Approximate heap footprint of the entry pool plus all indexes.
   size_t ApproxBytes() const {
     size_t bytes = index_.ApproxBytes();
     for (const auto& sec : secondary_) bytes += sec->ApproxBytes();
-    bytes += entries_.capacity() * sizeof(Entry);
-    for (const Entry& e : entries_) {
-      bytes += Ring::ApproxBytes(e.payload);
-      if (e.key.size() > 4) bytes += e.key.size() * sizeof(Value);
+    bytes += keys_.capacity() * sizeof(Tuple);
+    bytes += payloads_.capacity() * sizeof(Element);
+    for (const Element& p : payloads_) bytes += Ring::ApproxBytes(p);
+    for (const Tuple& k : keys_) {
+      if (k.size() > 4) bytes += k.size() * sizeof(Value);
     }
     return bytes;
   }
 
  private:
-  template <typename K>
-  void AddImpl(K&& key, Element delta) {
+  template <typename K, typename E>
+  void AddImpl(K&& key, E&& delta) {
     if (Ring::IsZero(delta)) return;
-    uint32_t new_slot = static_cast<uint32_t>(entries_.size());
-    uint32_t slot = index_.LookupOrInsert(key, entries_, new_slot);
+    uint32_t new_slot = static_cast<uint32_t>(keys_.size());
+    uint32_t slot = index_.LookupOrInsert(key, keys_, new_slot);
     if (slot != SlotIndex::kNoSlot) {
-      Entry& e = entries_[slot];
-      bool was_zero = Ring::IsZero(e.payload);
-      Ring::AddInPlace(e.payload, delta);
-      bool is_zero = Ring::IsZero(e.payload);
+      Element& p = payloads_[slot];
+      bool was_zero = Ring::IsZero(p);
+      Ring::AddInPlace(p, delta);
+      bool is_zero = Ring::IsZero(p);
       if (was_zero && !is_zero) ++live_;
       if (!was_zero && is_zero) {
         --live_;
@@ -449,28 +488,33 @@ class Relation {
       return;
     }
     // The index already records new_slot (one probe for lookup + insert);
-    // fill the entry it points at.
-    entries_.push_back(Entry{std::forward<K>(key), std::move(delta)});
+    // fill the pool slot it points at.
+    keys_.push_back(std::forward<K>(key));
+    payloads_.push_back(std::forward<E>(delta));
     for (auto& sec : secondary_) {
-      sec->Append(entries_[new_slot].key, new_slot);
+      sec->Append(keys_[new_slot], new_slot);
     }
     ++live_;
   }
 
   void MaybeCompact() {
-    size_t dead = entries_.size() - live_;
-    if (entries_.size() < 64 || dead * 2 < entries_.size()) return;
-    std::vector<Entry> old = std::move(entries_);
-    entries_.clear();
+    size_t dead = keys_.size() - live_;
+    if (keys_.size() < 64 || dead * 2 < keys_.size()) return;
+    std::vector<Tuple> old_keys = std::move(keys_);
+    std::vector<Element> old_payloads = std::move(payloads_);
+    keys_.clear();
+    payloads_.clear();
     index_.clear();
     std::vector<std::unique_ptr<SecondaryIndex>> old_secondary =
         std::move(secondary_);
     secondary_.clear();
     secondary_by_schema_.clear();
     live_ = 0;
-    Reserve(old.size() - dead);
-    for (Entry& e : old) {
-      if (!Ring::IsZero(e.payload)) Add(std::move(e.key), std::move(e.payload));
+    Reserve(old_keys.size() - dead);
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (!Ring::IsZero(old_payloads[i])) {
+        Add(std::move(old_keys[i]), std::move(old_payloads[i]));
+      }
     }
     // Rebuild the same secondary indexes so cached references stay valid
     // across compaction is NOT guaranteed; engine code re-fetches via
@@ -481,7 +525,9 @@ class Relation {
   }
 
   Schema schema_;
-  std::vector<Entry> entries_;
+  // The SoA entry pool: parallel key/payload arrays, 1:1 by slot.
+  std::vector<Tuple> keys_;
+  std::vector<Element> payloads_;
   SlotIndex index_;
   mutable std::vector<std::unique_ptr<SecondaryIndex>> secondary_;
   // O(1) locator: schema -> position in secondary_.

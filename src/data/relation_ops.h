@@ -69,12 +69,25 @@ void MarginalizeInto(Relation<Ring>& out, const Relation<Ring>& rel,
   // At most one output key per input key; presizing spares batched deltas
   // the doubling-growth entry copies and index rehashes.
   out.Reserve(rel.size());
+  if (spec.lifted.empty()) {
+    // Pure projection: payloads pass through by reference — Add copies
+    // only when the key is new to the output.
+    rel.ForEach([&](const Tuple& k, const Element& p) {
+      out.Add(k.Project(spec.out_positions), p);
+    });
+    return;
+  }
+  // Lift chain through two scratch elements (ping-pong): allocation-free
+  // once the scratch buffers reach the view's payload width.
+  Element acc, tmp;
   rel.ForEach([&](const Tuple& k, const Element& p) {
-    Element acc = p;
+    const Element* src = &p;
     for (const auto& [pos, var] : spec.lifted) {
-      acc = Ring::Mul(acc, lifts.Lift(var, k[pos]));
+      RingMulInto<Ring>(tmp, *src, lifts.Lift(var, k[pos]));
+      std::swap(acc, tmp);
+      src = &acc;
     }
-    out.Add(k.Project(spec.out_positions), std::move(acc));
+    out.Add(k.Project(spec.out_positions), *src);
   });
 }
 
@@ -102,12 +115,14 @@ Relation<Ring> Marginalize(const Relation<Ring>& rel, const Schema& marg,
 }
 
 /// The shared inner loop of the full-key join paths: visits `left`'s live
-/// entries in slot order and calls `on_hit(entry, right_payload)` for each
-/// one whose full key matches in `right`'s primary index. Probes are
-/// software-pipelined in batches of 8 — hash + prefetch first, probe after
-/// — so independent probes' index-line latency overlaps instead of
-/// serializing per probe (the hit path is a dependent ctrl→cell→entry
-/// chain); the probe view is re-materialized with its precomputed hash.
+/// entries in slot order and calls `on_hit(left_key, left_payload,
+/// right_payload)` for each one whose full key matches in `right`'s primary
+/// index. Probes are software-pipelined in batches of 8 — hash + prefetch
+/// first, probe after — so independent probes' index-line latency overlaps
+/// instead of serializing per probe (the hit path is a dependent
+/// ctrl→cell→key chain); the probe view is re-materialized with its
+/// precomputed hash. The live-entry scan streams the payload pool for the
+/// zero test and touches the key pool only for live slots (SoA split).
 template <typename Ring, typename Positions, typename OnHit>
 void ForEachFullKeyMatch(const Relation<Ring>& left,
                          const Relation<Ring>& right,
@@ -119,17 +134,16 @@ void ForEachFullKeyMatch(const Relation<Ring>& left,
   uint32_t bn = 0;
   auto flush = [&] {
     for (uint32_t j = 0; j < bn; ++j) {
-      const auto& e = left.EntryAt(batch[j]);
+      const Tuple& lk = left.KeyAt(batch[j]);
       const typename Ring::Element* rp =
-          right.Find(TupleView(e.key, right_key_pos, batch_hash[j]));
-      if (rp != nullptr) on_hit(e, *rp);
+          right.Find(TupleView(lk, right_key_pos, batch_hash[j]));
+      if (rp != nullptr) on_hit(lk, left.PayloadAt(batch[j]), *rp);
     }
     bn = 0;
   };
   for (uint32_t i = 0; i < n_slots; ++i) {
-    const auto& e = left.EntryAt(i);
-    if (Ring::IsZero(e.payload)) continue;
-    uint64_t h = TupleView(e.key, right_key_pos).Hash();
+    if (Ring::IsZero(left.PayloadAt(i))) continue;
+    uint64_t h = TupleView(left.KeyAt(i), right_key_pos).Hash();
     right.PrefetchFind(h);
     batch[bn] = i;
     batch_hash[bn] = h;
@@ -147,12 +161,16 @@ void JoinInto(Relation<Ring>& out, const Relation<Ring>& left,
   assert(right.schema() == spec.right_schema);
   assert(out.schema() == spec.out_schema);
 
+  // Product into a reused scratch element (no allocation steady-state);
+  // Add copies it into the pool only for new keys.
+  Element mul_scratch;
   Tuple scratch;
   auto emit = [&](const Tuple& lk, const Element& lp, const Tuple& rk,
                   const Element& rp) {
     scratch = lk;  // memcpy of values + cached hash; no re-fold of the prefix
     for (auto p : spec.right_private_pos) scratch.Append(rk[p]);
-    out.Add(scratch, Ring::Mul(lp, rp));
+    RingMulInto<Ring>(mul_scratch, lp, rp);
+    out.Add(scratch, mul_scratch);
   };
 
   switch (spec.kind) {
@@ -171,8 +189,9 @@ void JoinInto(Relation<Ring>& out, const Relation<Ring>& left,
       out.Reserve(left.size());
       ForEachFullKeyMatch(
           left, right, spec.right_key_pos,
-          [&](const typename Relation<Ring>::Entry& e, const Element& rp) {
-            out.Add(e.key, Ring::Mul(e.payload, rp));
+          [&](const Tuple& lk, const Element& lp, const Element& rp) {
+            RingMulInto<Ring>(mul_scratch, lp, rp);
+            out.Add(lk, mul_scratch);
           });
       return;
     case JoinKind::kSecondaryProbe: {
@@ -181,9 +200,9 @@ void JoinInto(Relation<Ring>& out, const Relation<Ring>& left,
         const auto* slots = right_index.Probe(TupleView(lk, spec.left_common));
         if (slots == nullptr) return;
         for (uint32_t slot : *slots) {
-          const auto& e = right.EntryAt(slot);
-          if (Ring::IsZero(e.payload)) continue;
-          emit(lk, lp, e.key, e.payload);
+          const Element& rp = right.PayloadAt(slot);
+          if (Ring::IsZero(rp)) continue;
+          emit(lk, lp, right.KeyAt(slot), rp);
         }
       });
       return;
@@ -222,15 +241,19 @@ void JoinAndMarginalizeInto(Relation<Ring>& out, const Relation<Ring>& left,
   assert(out.schema() == spec.out_schema);
 
   // One match's ring term: Mul(left, right) times the lifted marginalized
-  // values.
+  // values, chained through two reused scratch elements — allocation-free
+  // once the scratch buffers reach the term's payload width. The returned
+  // reference is valid until the next term() call.
+  Element term_scratch, term_tmp;
   auto term = [&](const Tuple& lk, const Element& lp, const Tuple& rk,
-                  const Element& rp) {
-    Element acc = Ring::Mul(lp, rp);
+                  const Element& rp) -> const Element& {
+    RingMulInto<Ring>(term_scratch, lp, rp);
     for (const auto& [var, src] : spec.lifted) {
       const Value& x = src.from_left ? lk[src.pos] : rk[src.pos];
-      acc = Ring::Mul(acc, lifts.Lift(var, x));
+      RingMulInto<Ring>(term_tmp, term_scratch, lifts.Lift(var, x));
+      std::swap(term_scratch, term_tmp);
     }
-    return acc;
+    return term_scratch;
   };
 
   // The scratch key is reused across all emits; Relation::Add copies it
@@ -263,12 +286,12 @@ void JoinAndMarginalizeInto(Relation<Ring>& out, const Relation<Ring>& left,
       out.Reserve(left.size());
       ForEachFullKeyMatch(
           left, right, spec.right_key_pos,
-          [&](const typename Relation<Ring>::Entry& e, const Element& rp) {
+          [&](const Tuple& lk, const Element& lp, const Element& rp) {
             scratch.Clear();
             for (const auto& src : spec.out_src) {
-              scratch.Append(e.key[src.pos]);
+              scratch.Append(lk[src.pos]);
             }
-            out.Add(scratch, term(e.key, e.payload, e.key, rp));
+            out.Add(scratch, term(lk, lp, lk, rp));
           });
       return;
     case JoinKind::kSecondaryProbe: {
@@ -278,27 +301,30 @@ void JoinAndMarginalizeInto(Relation<Ring>& out, const Relation<Ring>& left,
         // right side is joined away), the output key is fixed per left
         // entry, so the whole match set folds in the ring (distributivity)
         // and costs a single hash-map update instead of one per match.
+        // The fold accumulator is hoisted like the term scratch: its
+        // buffer survives across left entries, keeping the steady state
+        // allocation-free.
         out.Reserve(left.size());
+        Element acc = Ring::Zero();
         left.ForEach([&](const Tuple& lk, const Element& lp) {
           const auto* slots =
               right_index.Probe(TupleView(lk, spec.left_common));
           if (slots == nullptr) return;
-          Element acc = Ring::Zero();
           bool have = false;
           for (uint32_t slot : *slots) {
-            const auto& e = right.EntryAt(slot);
-            if (Ring::IsZero(e.payload)) continue;
+            const Element& rp = right.PayloadAt(slot);
+            if (Ring::IsZero(rp)) continue;
             if (!have) {
-              acc = term(lk, lp, e.key, e.payload);
+              acc = term(lk, lp, right.KeyAt(slot), rp);
               have = true;
             } else {
-              Ring::AddInPlace(acc, term(lk, lp, e.key, e.payload));
+              Ring::AddInPlace(acc, term(lk, lp, right.KeyAt(slot), rp));
             }
           }
           if (!have) return;
           scratch.Clear();
           for (const auto& src : spec.out_src) scratch.Append(lk[src.pos]);
-          out.Add(scratch, std::move(acc));
+          out.Add(scratch, acc);  // const ref: hit path copies nothing
         });
         return;
       }
@@ -307,9 +333,9 @@ void JoinAndMarginalizeInto(Relation<Ring>& out, const Relation<Ring>& left,
         const auto* slots = right_index.Probe(TupleView(lk, spec.left_common));
         if (slots == nullptr) return;
         for (uint32_t slot : *slots) {
-          const auto& e = right.EntryAt(slot);
-          if (Ring::IsZero(e.payload)) continue;
-          emit(lk, lp, e.key, e.payload);
+          const Element& rp = right.PayloadAt(slot);
+          if (Ring::IsZero(rp)) continue;
+          emit(lk, lp, right.KeyAt(slot), rp);
         }
       });
       return;
@@ -355,9 +381,10 @@ Relation<Ring> Reordered(Relation<Ring>&& rel, const Schema& target) {
   Relation<Ring> out(target);
   out.Reserve(rel.size());
   auto pos = rel.schema().PositionsOf(target);
-  for (auto& e : rel.TakeEntries()) {
-    if (Ring::IsZero(e.payload)) continue;
-    out.Add(e.key.Project(pos), std::move(e.payload));
+  auto pool = rel.TakePool();
+  for (size_t i = 0; i < pool.keys.size(); ++i) {
+    if (Ring::IsZero(pool.payloads[i])) continue;
+    out.Add(pool.keys[i].Project(pos), std::move(pool.payloads[i]));
   }
   return out;
 }
@@ -430,8 +457,9 @@ bool HomeClusteredAbsorbOrder(Relation<Ring>& store,
   std::vector<uint32_t> ids;
   ids.reserve(delta.size());
   const uint32_t n_slots = static_cast<uint32_t>(delta.SlotCount());
+  // Payload-pool-only sweep: the zero test never touches the keys.
   for (uint32_t s = 0; s < n_slots; ++s) {
-    if (!Ring::IsZero(delta.EntryAt(s).payload)) ids.push_back(s);
+    if (!Ring::IsZero(delta.PayloadAt(s))) ids.push_back(s);
   }
   store.ReserveForAbsorb(ids.size());
   const size_t cap = store.IndexCapacityAfterReserve(0);
@@ -450,7 +478,7 @@ bool HomeClusteredAbsorbOrder(Relation<Ring>& store,
   std::vector<uint16_t> bucket_of(ids.size());
   std::vector<uint32_t> cnt(buckets + 1, 0);
   for (size_t i = 0; i < ids.size(); ++i) {
-    size_t home = util::GroupHomeIndex(delta.EntryAt(ids[i]).key.Hash(), cap);
+    size_t home = util::GroupHomeIndex(delta.KeyAt(ids[i]).Hash(), cap);
     bucket_of[i] = static_cast<uint16_t>(home >> shift);
     ++cnt[bucket_of[i] + 1];
   }
@@ -477,8 +505,7 @@ void AbsorbInto(Relation<Ring>& store, const Relation<Ring>& delta) {
             ClusteredAbsorbMinKeys().load(std::memory_order_relaxed) &&
         HomeClusteredAbsorbOrder(store, delta, order)) {
       for (uint32_t s : order) {
-        const auto& e = delta.EntryAt(s);
-        store.Add(e.key, e.payload);
+        store.Add(delta.KeyAt(s), delta.PayloadAt(s));
       }
       return;
     }
@@ -512,25 +539,27 @@ void AbsorbInto(Relation<Ring>& store, Relation<Ring>&& delta) {
     if (delta.size() >=
             ClusteredAbsorbMinKeys().load(std::memory_order_relaxed) &&
         HomeClusteredAbsorbOrder(store, delta, order)) {
-      auto entries = delta.TakeEntries();
+      auto pool = delta.TakePool();
       for (uint32_t s : order) {
-        store.Add(std::move(entries[s].key), std::move(entries[s].payload));
+        store.Add(std::move(pool.keys[s]), std::move(pool.payloads[s]));
       }
       return;
     }
     if (delta.size() >= kPresizeAbsorbMinKeys) {
       store.ReserveForAbsorb(delta.size());
     }
-    for (auto& e : delta.TakeEntries()) {
-      if (Ring::IsZero(e.payload)) continue;
-      store.Add(std::move(e.key), std::move(e.payload));
+    auto pool = delta.TakePool();
+    for (size_t i = 0; i < pool.keys.size(); ++i) {
+      if (Ring::IsZero(pool.payloads[i])) continue;
+      store.Add(std::move(pool.keys[i]), std::move(pool.payloads[i]));
     }
     return;
   }
   auto pos = delta.schema().PositionsOf(store.schema());
-  for (auto& e : delta.TakeEntries()) {
-    if (Ring::IsZero(e.payload)) continue;
-    store.Add(e.key.Project(pos), std::move(e.payload));
+  auto pool = delta.TakePool();
+  for (size_t i = 0; i < pool.keys.size(); ++i) {
+    if (Ring::IsZero(pool.payloads[i])) continue;
+    store.Add(pool.keys[i].Project(pos), std::move(pool.payloads[i]));
   }
 }
 

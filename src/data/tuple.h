@@ -72,8 +72,11 @@ class Tuple {
   /// tuple is extended with `other`'s value hashes — no re-scan of `*this`.
   Tuple Concat(const Tuple& other) const {
     Tuple out;
-    out.values_.reserve(values_.size() + other.values_.size());
+    // Assign first, reserve after: reserving before the copy-assignment
+    // leaves the final capacity at the assignee's mercy, and the append
+    // loop could then reallocate mid-stream.
     out.values_ = values_;
+    out.values_.reserve(values_.size() + other.values_.size());
     out.hash_ = hash_;
     for (const Value& v : other.values_) out.Append(v);
     return out;

@@ -112,10 +112,11 @@ class ParallelExecutor {
       shard_delta.emplace_back(leaf_schema);
       shard_delta[s].Reserve(per_shard);
     }
-    for (auto& e : delta.TakeEntries()) {
-      if (Ring::IsZero(e.payload)) continue;
-      size_t s = TupleView(e.key, part_pos).Hash() % shards;
-      shard_delta[s].Add(std::move(e.key), std::move(e.payload));
+    auto pool = delta.TakePool();
+    for (size_t i = 0; i < pool.keys.size(); ++i) {
+      if (Ring::IsZero(pool.payloads[i])) continue;
+      size_t s = TupleView(pool.keys[i], part_pos).Hash() % shards;
+      shard_delta[s].Add(std::move(pool.keys[i]), std::move(pool.payloads[i]));
     }
 
     // Lazy secondary-index construction is not thread-safe; build every

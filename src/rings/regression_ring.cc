@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+
+#include "src/util/simd.h"
 
 namespace fivm {
 namespace {
@@ -23,29 +26,83 @@ void UnionRange(uint32_t alo, uint32_t ahi, uint32_t blo, uint32_t bhi,
 
 }  // namespace
 
+// Kernel discipline for everything below: the structural case analysis
+// (which ranges align, which rows are contiguous) lives here, shared by
+// both dispatch arms; only the element-wise inner loops go through
+// fivm::simd, whose AVX2 and scalar arms round identically per element.
+//
+// Layout facts the fast paths rest on: a payload buffer packs s over
+// [lo, hi) followed by the upper triangle of Q row-major, rows of
+// shrinking length packing consecutively. Hence (1) two payloads over the
+// *same* range have bit-identical layouts and combine with one flat kernel
+// over s and Q together; (2) a *contained* range still gives one
+// contiguous s block and one contiguous Q segment per row; (3) for
+// *disjoint* ranges the output triangle decomposes into block rows —
+// earlier-range triangle segment, gap, rank-1 rectangle segment, then the
+// later-range triangle as one contiguous tail — so Mul can write every
+// output double exactly once (no zero-fill pass, no read-modify-write),
+// which is where the allocating product spends its time.
+//
+// The overwrite paths write `scale * x` where the seed accumulated
+// `0.0 + scale * x`: identical except that a -0.0 product now stays -0.0
+// instead of flushing to +0.0. Both dispatch arms share the structure, so
+// the bitwise plan-equivalence and parallel-determinism guarantees are
+// unaffected (and operator== compares ±0 equal).
+
 RegressionPayload Add(const RegressionPayload& a, const RegressionPayload& b) {
   RegressionPayload out;
   out.c_ = a.c_ + b.c_;
   UnionRange(a.lo_, a.hi_, b.lo_, b.hi_, &out.lo_, &out.hi_);
   size_t len = out.len();
   if (len == 0) return out;
-  out.buf_.resize(len + len * (len + 1) / 2);  // value-initialized to 0.0
+  const size_t total = len + len * (len + 1) / 2;
 
+  const bool a_covers = a.has_range() && a.len() == len;
+  const bool b_covers = b.has_range() && b.len() == len;
+
+  if (a_covers && b_covers) {
+    // Identical ranges: one flat overwrite over s and Q together.
+    out.buf_.resize_uninitialized(total);
+    simd::SumTo(out.buf_.data(), a.buf_.data(), b.buf_.data(), total);
+    return out;
+  }
+
+  if (a_covers || b_covers) {
+    // One operand covers the union: copy it, accumulate the other into the
+    // contained window (contiguous s block + one contiguous Q segment per
+    // row).
+    const RegressionPayload& cov = a_covers ? a : b;
+    const RegressionPayload& sub = a_covers ? b : a;
+    out.buf_.resize_uninitialized(total);
+    std::memcpy(out.buf_.data(), cov.buf_.data(), total * sizeof(double));
+    if (sub.has_range()) {
+      size_t sublen = sub.len();
+      size_t off = sub.lo_ - out.lo_;
+      simd::AddTo(out.s_data() + off, sub.s_data(), sublen);
+      double* q = out.q_data();
+      const double* sq = sub.q_data();
+      for (size_t i = 0; i < sublen; ++i) {
+        simd::AddTo(q + RegressionPayload::TriIndex(len, off + i, off + i),
+                    sq + RegressionPayload::TriIndex(sublen, i, i),
+                    sublen - i);
+      }
+    }
+    return out;
+  }
+
+  // Neither covers the union (disjoint or partial overlap): zero-fill and
+  // accumulate both windows.
+  out.buf_.resize(total);  // value-initialized to 0.0
   auto accumulate = [&](const RegressionPayload& p) {
     if (!p.has_range()) return;
     size_t plen = p.len();
     size_t off = p.lo_ - out.lo_;
-    double* s = out.s_data();
+    simd::AddTo(out.s_data() + off, p.s_data(), plen);
     double* q = out.q_data();
-    const double* ps = p.s_data();
     const double* pq = p.q_data();
-    for (size_t i = 0; i < plen; ++i) s[off + i] += ps[i];
     for (size_t i = 0; i < plen; ++i) {
-      const size_t row = RegressionPayload::TriIndex(plen, i, i);
-      const size_t orow = RegressionPayload::TriIndex(len, off + i, off + i);
-      for (size_t j = 0; i + j < plen; ++j) {
-        q[orow + j] += pq[row + j];
-      }
+      simd::AddTo(q + RegressionPayload::TriIndex(len, off + i, off + i),
+                  pq + RegressionPayload::TriIndex(plen, i, i), plen - i);
     }
   };
   accumulate(a);
@@ -64,18 +121,17 @@ void RegressionPayload::AddInPlace(const RegressionPayload& b) {
     c_ += b.c_;
     size_t len = this->len();
     size_t blen = b.len();
+    if (blen == len) {  // identical ranges: one flat add over s and Q
+      simd::AddTo(buf_.data(), b.buf_.data(), buf_.size());
+      return;
+    }
     size_t off = b.lo_ - lo_;
-    double* s = s_data();
+    simd::AddTo(s_data() + off, b.s_data(), blen);
     double* q = q_data();
-    const double* bs = b.s_data();
     const double* bq = b.q_data();
-    for (size_t i = 0; i < blen; ++i) s[off + i] += bs[i];
     for (size_t i = 0; i < blen; ++i) {
-      const size_t row = TriIndex(blen, i, i);
-      const size_t orow = TriIndex(len, off + i, off + i);
-      for (size_t j = 0; i + j < blen; ++j) {
-        q[orow + j] += bq[row + j];
-      }
+      simd::AddTo(q + TriIndex(len, off + i, off + i),
+                  bq + TriIndex(blen, i, i), blen - i);
     }
     return;
   }
@@ -84,56 +140,140 @@ void RegressionPayload::AddInPlace(const RegressionPayload& b) {
 
 RegressionPayload Mul(const RegressionPayload& a, const RegressionPayload& b) {
   RegressionPayload out;
+  MulInto(out, a, b);
+  return out;
+}
+
+/// The product, written into a reused element: clears and refills `out`
+/// (buffer capacity survives, so a scratch element chained through
+/// propagation terms stops allocating once it has seen the view's payload
+/// width). Every path below either overwrites the whole buffer or
+/// explicitly zeroes what it skips — `out` may hold arbitrary stale state.
+void MulInto(RegressionPayload& out, const RegressionPayload& a,
+             const RegressionPayload& b) {
+  assert(&out != &a && &out != &b);
   out.c_ = a.c_ * b.c_;
   UnionRange(a.lo_, a.hi_, b.lo_, b.hi_, &out.lo_, &out.hi_);
   size_t len = out.len();
-  if (len == 0) return out;
-  out.buf_.resize(len + len * (len + 1) / 2);  // value-initialized to 0.0
+  if (len == 0) {
+    out.buf_.clear();
+    return;
+  }
+  const size_t total = len + len * (len + 1) / 2;
+  out.buf_.resize_uninitialized(total);
 
+  if (!a.has_range() || !b.has_range()) {
+    // One ranged operand: out = scale * p over p's own layout. The
+    // scale == 0 case (multiplication by a pure count of zero) keeps the
+    // seed's exact-zero buffer so annihilation holds even for non-finite
+    // aggregates.
+    const RegressionPayload& p = a.has_range() ? a : b;
+    const double scale = a.has_range() ? b.c_ : a.c_;
+    if (scale == 0.0) {
+      std::memset(out.buf_.data(), 0, total * sizeof(double));
+    } else {
+      simd::ScaleTo(out.buf_.data(), p.buf_.data(), scale, total);
+    }
+    return;
+  }
+
+  // The overwrite fast paths multiply by the counts unconditionally, so
+  // they require both counts non-zero: a zero count must contribute exact
+  // zeros (annihilation — `0 * inf` would manufacture NaN), which the
+  // accumulate-over-zeros path at the bottom preserves via scale_in's
+  // skip. Zero-count payloads with a live range only arise from exact
+  // insert/delete cancellation — rare enough for the slow path.
+  const bool counts_nonzero = a.c_ != 0.0 && b.c_ != 0.0;
+
+  if (counts_nonzero && a.lo_ == b.lo_ && a.hi_ == b.hi_) {
+    // Identical ranges: cb*Qa + ca*Qb (with the s halves riding along) is
+    // one flat overwrite; the rank-1 sa sb^T + sb sa^T half then
+    // accumulates row by row over the contiguous tails y in [x, hi).
+    simd::ScalePairTo(out.buf_.data(), a.buf_.data(), b.buf_.data(), b.c_,
+                      a.c_, total);
+    simd::Rank1UpperTo(out.q_data(), a.s_data(), b.s_data(), len);
+    return;
+  }
+
+  if (counts_nonzero && (a.hi_ <= b.lo_ || b.hi_ <= a.lo_)) {
+    // Disjoint ranges — every view-tree payload product (sibling views and
+    // lifts cover disjoint variable sets). With p the earlier range and r
+    // the later, each cross term sa_x*sb_y + sb_x*sa_y keeps exactly one
+    // non-zero side, so the output decomposes into blocks written exactly
+    // once:
+    //   s   = [ pscale * sp | zeros | rscale * sr ]
+    //   Q,  row x in p:  [ pscale * Qp row | zeros | sp_x * sr ]
+    //       rows in gap:   zeros
+    //       rows in r:     rscale * Qr — one contiguous triangle tail.
+    const bool a_first = a.lo_ < b.lo_;
+    const RegressionPayload& p = a_first ? a : b;
+    const RegressionPayload& r = a_first ? b : a;
+    const double pscale = a_first ? b.c_ : a.c_;  // multiplies sp and Qp
+    const double rscale = a_first ? a.c_ : b.c_;
+    const size_t plen = p.len();
+    const size_t rlen = r.len();
+    const size_t gap = r.lo_ - p.hi_;
+
+    double* s = out.s_data();
+    double* q = out.q_data();
+
+    simd::ScaleTo(s, p.s_data(), pscale, plen);
+    std::memset(s + plen, 0, gap * sizeof(double));
+    simd::ScaleTo(s + plen + gap, r.s_data(), rscale, rlen);
+
+    simd::DisjointMulRowsTo(q, p.q_data(), p.s_data(), r.s_data(), pscale,
+                            plen, gap, rlen, len);
+    if (gap > 0) {
+      double* gap_rows = q + RegressionPayload::TriIndex(len, plen, plen);
+      double* r_rows =
+          q + RegressionPayload::TriIndex(len, plen + gap, plen + gap);
+      std::memset(gap_rows, 0,
+                  static_cast<size_t>(r_rows - gap_rows) * sizeof(double));
+    }
+    simd::ScaleTo(q + RegressionPayload::TriIndex(len, plen + gap, plen + gap),
+                  r.q_data(), rscale, rlen * (rlen + 1) / 2);
+    return;
+  }
+
+  // General form — partial overlap (does not arise from view-tree
+  // products) and zero-count operands: zero-fill, accumulate the scaled
+  // halves (scale_in skips zero scales, preserving annihilation), then
+  // gather the rank-1 terms.
+  std::memset(out.buf_.data(), 0, total * sizeof(double));
   double* s = out.s_data();
   double* q = out.q_data();
-
-  // s += scale * sp ; Q += scale * Qp (the cb*Qa and ca*Qb terms).
   auto scale_in = [&](const RegressionPayload& p, double scale) {
-    if (!p.has_range() || scale == 0.0) return;
+    if (scale == 0.0) return;
     size_t plen = p.len();
     size_t off = p.lo_ - out.lo_;
-    const double* ps = p.s_data();
+    simd::AxpyTo(s + off, p.s_data(), scale, plen);
     const double* pq = p.q_data();
-    for (size_t i = 0; i < plen; ++i) s[off + i] += scale * ps[i];
     for (size_t i = 0; i < plen; ++i) {
-      const size_t row = RegressionPayload::TriIndex(plen, i, i);
-      const size_t orow = RegressionPayload::TriIndex(len, off + i, off + i);
-      for (size_t j = 0; i + j < plen; ++j) {
-        q[orow + j] += scale * pq[row + j];
-      }
+      simd::AxpyTo(q + RegressionPayload::TriIndex(len, off + i, off + i),
+                   pq + RegressionPayload::TriIndex(plen, i, i), scale,
+                   plen - i);
     }
   };
   scale_in(a, b.c_);
   scale_in(b, a.c_);
 
-  // Q += sa sb^T + sb sa^T. The sum is symmetric with entry
-  // M(x, y) = sa_x * sb_y + sb_x * sa_y, accumulated once per packed cell.
-  if (a.has_range() && b.has_range()) {
-    auto sa_at = [&](uint32_t g) -> double {
-      return (g >= a.lo_ && g < a.hi_) ? a.s_data()[g - a.lo_] : 0.0;
-    };
-    auto sb_at = [&](uint32_t g) -> double {
-      return (g >= b.lo_ && g < b.hi_) ? b.s_data()[g - b.lo_] : 0.0;
-    };
-    for (uint32_t x = out.lo_; x < out.hi_; ++x) {
-      double sax = sa_at(x);
-      double sbx = sb_at(x);
-      if (sax == 0.0 && sbx == 0.0) continue;
-      const size_t orow =
-          RegressionPayload::TriIndex(len, x - out.lo_, x - out.lo_);
-      for (uint32_t y = x; y < out.hi_; ++y) {
-        double v = sax * sb_at(y) + sbx * sa_at(y);
-        if (v != 0.0) q[orow + (y - x)] += v;
-      }
+  auto sa_at = [&](uint32_t g) -> double {
+    return (g >= a.lo_ && g < a.hi_) ? a.s_data()[g - a.lo_] : 0.0;
+  };
+  auto sb_at = [&](uint32_t g) -> double {
+    return (g >= b.lo_ && g < b.hi_) ? b.s_data()[g - b.lo_] : 0.0;
+  };
+  for (uint32_t x = out.lo_; x < out.hi_; ++x) {
+    double sax = sa_at(x);
+    double sbx = sb_at(x);
+    if (sax == 0.0 && sbx == 0.0) continue;
+    const size_t orow =
+        RegressionPayload::TriIndex(len, x - out.lo_, x - out.lo_);
+    for (uint32_t y = x; y < out.hi_; ++y) {
+      double v = sax * sb_at(y) + sbx * sa_at(y);
+      if (v != 0.0) q[orow + (y - x)] += v;
     }
   }
-  return out;
 }
 
 bool RegressionPayload::operator==(const RegressionPayload& o) const {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/data/value.h"
+#include "src/util/simd.h"
 #include "src/util/small_vector.h"
 
 namespace fivm {
@@ -46,19 +47,22 @@ class RegressionPayload {
     return p;
   }
 
-  /// Inline buffer capacity: s + packed upper triangle for ranges of up to
-  /// 3 slots (9 doubles), so degree-3 workloads — lifts (2), pairwise
-  /// products (5), full triangle cofactors (9) — never heap-allocate a
-  /// payload in the delta-propagation loop. Wider ranges spill.
+  /// Inline buffer capacity: lifts (2 doubles) stay inline; anything wider
+  /// spills to the heap. The default was 9 (degree-3 cofactors inline)
+  /// while payload arithmetic allocated a fresh element per product — the
+  /// SoA entry pool + MulInto scratch chaining (PR 5) made the steady
+  /// state allocation-free regardless, and re-measurement on that layout
+  /// inverted the tradeoff: N=2 shrinks every payload-pool slot 112 → 56
+  /// bytes, which the zero-sweeps, absorbs and point-lookup walks all feel
+  /// (fig13 F-IVM store 22.8 → 15.7 MB with regression arms 1.2-1.9×
+  /// faster; fig7 ~1.08× and 11.4 → 9.3 MB — interleaved medians, see
+  /// ROADMAP PR 5 entry).
   ///
-  /// Overridable at configure time (-DFIVM_REGRESSION_INLINE_DOUBLES=N)
-  /// for cache-layout experiments: inline payloads make Relation entries
-  /// ~112 bytes heavier, which the fig13 "F-IVM ONE" point-lookup walk
-  /// over a ~300 MB precomputed store pays for in cache misses, while
-  /// propagation-heavy workloads profit from allocation-free payload
-  /// arithmetic (see ROADMAP, "F-IVM ONE regression").
+  /// Still overridable at configure time
+  /// (-DFIVM_REGRESSION_INLINE_DOUBLES=N) for cache-layout experiments on
+  /// other hosts.
 #ifndef FIVM_REGRESSION_INLINE_DOUBLES
-#define FIVM_REGRESSION_INLINE_DOUBLES 9
+#define FIVM_REGRESSION_INLINE_DOUBLES 2
 #endif
   static constexpr size_t kInlineDoubles = FIVM_REGRESSION_INLINE_DOUBLES;
 
@@ -82,16 +86,13 @@ class RegressionPayload {
 
   bool IsZero() const {
     if (c_ != 0.0) return false;
-    for (double v : buf_) {
-      if (v != 0.0) return false;
-    }
-    return true;
+    return !simd::AnyNonZero(buf_.data(), buf_.size());
   }
 
   RegressionPayload operator-() const {
     RegressionPayload p = *this;
     p.c_ = -p.c_;
-    for (double& v : p.buf_) v = -v;
+    simd::Negate(p.buf_.data(), p.buf_.size());
     return p;
   }
 
@@ -105,6 +106,13 @@ class RegressionPayload {
   ///   c = ca*cb, s = cb*sa + ca*sb, Q = cb*Qa + ca*Qb + sa sb^T + sb sa^T.
   friend RegressionPayload Mul(const RegressionPayload& a,
                                const RegressionPayload& b);
+
+  /// a * b written into `out`, reusing out's buffer capacity: the
+  /// allocation-free form the propagation term loops chain through scratch
+  /// payloads (a wide product allocates kilobytes otherwise). `out` must
+  /// not alias `a` or `b`.
+  friend void MulInto(RegressionPayload& out, const RegressionPayload& a,
+                      const RegressionPayload& b);
 
   bool operator==(const RegressionPayload& o) const;
 
@@ -139,6 +147,8 @@ class RegressionPayload {
 
 RegressionPayload Add(const RegressionPayload& a, const RegressionPayload& b);
 RegressionPayload Mul(const RegressionPayload& a, const RegressionPayload& b);
+void MulInto(RegressionPayload& out, const RegressionPayload& a,
+             const RegressionPayload& b);
 
 /// Ring policy for the degree-m matrix ring. Slot assignment is the caller's
 /// responsibility (see core/view_tree AssignAggregateSlots).
@@ -151,6 +161,12 @@ struct RegressionRing {
   }
   static Element Mul(const Element& a, const Element& b) {
     return fivm::Mul(a, b);
+  }
+  /// Optional ring-policy extension (see RingMulInto in rings/ring.h):
+  /// product into a reused scratch element, no allocation once the scratch
+  /// buffer has grown to the view's payload width.
+  static void MulInto(Element& out, const Element& a, const Element& b) {
+    fivm::MulInto(out, a, b);
   }
   static Element Neg(const Element& a) { return -a; }
   static void AddInPlace(Element& a, const Element& b) { a.AddInPlace(b); }

@@ -29,6 +29,31 @@ concept RingPolicy = requires(const typename R::Element& a,
   { R::ApproxBytes(a) } -> std::same_as<size_t>;
 };
 
+/// Optional ring-policy extension: `MulInto(out, a, b)` computes a * b into
+/// a reused element instead of returning a fresh one. Rings with heavy
+/// elements (the regression cofactor payloads, kilobytes wide at the root)
+/// implement it to make the propagation term loops allocation-free;
+/// everything else falls back to assignment from Mul.
+template <typename R>
+concept RingHasMulInto =
+    requires(typename R::Element& out, const typename R::Element& a) {
+      { R::MulInto(out, a, a) };
+    };
+
+/// Product into a scratch element: the form the operator inner loops call.
+/// Value-equal to `out = R::Mul(a, b)` on every ring (and bit-equal where
+/// the ring defines MulInto by the same kernels).
+template <typename R>
+inline void RingMulInto(typename R::Element& out,
+                        const typename R::Element& a,
+                        const typename R::Element& b) {
+  if constexpr (RingHasMulInto<R>) {
+    R::MulInto(out, a, b);
+  } else {
+    out = R::Mul(a, b);
+  }
+}
+
 /// The integer ring (Z, +, *, 0, 1). Payloads are tuple multiplicities;
 /// this is the ring of COUNT queries and of delta encodings (inserts map to
 /// +1, deletes to -1).

@@ -2,128 +2,223 @@
 
 #include <algorithm>
 
+#include "src/util/simd.h"
+
 namespace fivm {
 namespace {
 
-// Merges two sorted entry lists, summing values on key collisions and
+// Merges two sorted key spans, appending keys to `out_k` and
+// sa * a + sb * b values to `out_v`, summing on key collisions and
 // dropping zero results.
-template <typename Entry, typename KeyFn>
-std::vector<Entry> MergeSum(const std::vector<Entry>& a,
-                            const std::vector<Entry>& b, double sa, double sb,
-                            KeyFn key) {
-  std::vector<Entry> out;
-  out.reserve(a.size() + b.size());
+void MergeSumInto(const uint64_t* ak, const double* av, size_t na,
+                  const uint64_t* bk, const double* bv, size_t nb, double sa,
+                  double sb, std::vector<uint64_t>& out_k,
+                  std::vector<double>& out_v) {
   size_t i = 0, j = 0;
-  while (i < a.size() || j < b.size()) {
-    if (j >= b.size() || (i < a.size() && key(a[i]) < key(b[j]))) {
-      Entry e = a[i++];
-      e.value *= sa;
-      if (e.value != 0.0) out.push_back(e);
-    } else if (i >= a.size() || key(b[j]) < key(a[i])) {
-      Entry e = b[j++];
-      e.value *= sb;
-      if (e.value != 0.0) out.push_back(e);
+  auto push = [&](uint64_t k, double v) {
+    if (v != 0.0) {
+      out_k.push_back(k);
+      out_v.push_back(v);
+    }
+  };
+  while (i < na || j < nb) {
+    if (j >= nb || (i < na && ak[i] < bk[j])) {
+      push(ak[i], av[i] * sa);
+      ++i;
+    } else if (i >= na || bk[j] < ak[i]) {
+      push(bk[j], bv[j] * sb);
+      ++j;
     } else {
-      Entry e = a[i];
-      e.value = sa * a[i].value + sb * b[j].value;
+      push(ak[i], sa * av[i] + sb * bv[j]);
       ++i;
       ++j;
-      if (e.value != 0.0) out.push_back(e);
     }
   }
-  return out;
 }
 
 }  // namespace
 
 double SparseRegressionPayload::Sum(uint32_t slot) const {
-  for (const SEntry& e : s_) {
-    if (e.slot == slot) return e.value;
-    if (e.slot > slot) break;
+  for (size_t i = 0; i < s_count_; ++i) {
+    if (keys_[i] == slot) return vals_[i];
+    if (keys_[i] > slot) break;
   }
   return 0.0;
 }
 
 double SparseRegressionPayload::Cofactor(uint32_t i, uint32_t j) const {
   uint64_t code = PairCode(i, j);
-  for (const QEntry& e : q_) {
-    if (e.code == code) return e.value;
-    if (e.code > code) break;
+  for (size_t k = s_count_; k < keys_.size(); ++k) {
+    if (keys_[k] == code) return vals_[k];
+    if (keys_[k] > code) break;
   }
   return 0.0;
 }
 
-bool SparseRegressionPayload::IsZero() const {
-  return c_ == 0.0 && s_.empty() && q_.empty();
-}
-
-SparseRegressionPayload SparseRegressionPayload::operator-() const {
-  SparseRegressionPayload p = *this;
-  p.c_ = -p.c_;
-  for (SEntry& e : p.s_) e.value = -e.value;
-  for (QEntry& e : p.q_) e.value = -e.value;
-  return p;
+void SparseRegressionPayload::CompactZeros() {
+  size_t n = vals_.size();
+  size_t w = 0;
+  uint32_t new_s = s_count_;
+  for (size_t i = 0; i < n; ++i) {
+    if (vals_[i] == 0.0) {
+      if (i < s_count_) --new_s;
+      continue;
+    }
+    if (w != i) {
+      keys_[w] = keys_[i];
+      vals_[w] = vals_[i];
+    }
+    ++w;
+  }
+  keys_.resize(w);
+  vals_.resize(w);
+  s_count_ = new_s;
 }
 
 SparseRegressionPayload Add(const SparseRegressionPayload& a,
                             const SparseRegressionPayload& b) {
   SparseRegressionPayload out;
   out.c_ = a.c_ + b.c_;
-  out.s_ = MergeSum(a.s_, b.s_, 1.0, 1.0,
-                    [](const auto& e) { return e.slot; });
-  out.q_ = MergeSum(a.q_, b.q_, 1.0, 1.0,
-                    [](const auto& e) { return e.code; });
+  if (a.s_count_ == b.s_count_ && a.keys_ == b.keys_) {
+    // Identical key layouts: one lane kernel over every value, linear and
+    // quadratic together. (x + y and 1.0*x + 1.0*y round identically, so
+    // this matches the general merge bit for bit.)
+    out.s_count_ = a.s_count_;
+    out.keys_ = a.keys_;
+    out.vals_.resize(a.vals_.size());
+    simd::SumTo(out.vals_.data(), a.vals_.data(), b.vals_.data(),
+                a.vals_.size());
+    out.CompactZeros();
+    return out;
+  }
+  out.keys_.reserve(a.keys_.size() + b.keys_.size());
+  out.vals_.reserve(a.keys_.size() + b.keys_.size());
+  MergeSumInto(a.keys_.data(), a.vals_.data(), a.s_count_, b.keys_.data(),
+               b.vals_.data(), b.s_count_, 1.0, 1.0, out.keys_, out.vals_);
+  out.s_count_ = static_cast<uint32_t>(out.keys_.size());
+  MergeSumInto(a.keys_.data() + a.s_count_, a.vals_.data() + a.s_count_,
+               a.keys_.size() - a.s_count_, b.keys_.data() + b.s_count_,
+               b.vals_.data() + b.s_count_, b.keys_.size() - b.s_count_, 1.0,
+               1.0, out.keys_, out.vals_);
   return out;
 }
 
 void SparseRegressionPayload::AddInPlace(const SparseRegressionPayload& b) {
+  if (s_count_ == b.s_count_ && keys_ == b.keys_) {
+    // The path store absorbs and delta coalescing take on a stabilized
+    // support: accumulate the value lane in place, no allocation.
+    c_ += b.c_;
+    simd::AddTo(vals_.data(), b.vals_.data(), vals_.size());
+    CompactZeros();
+    return;
+  }
   *this = fivm::Add(*this, b);
 }
 
 SparseRegressionPayload Mul(const SparseRegressionPayload& a,
                             const SparseRegressionPayload& b) {
-  using SEntry = SparseRegressionPayload::SEntry;
-  using QEntry = SparseRegressionPayload::QEntry;
   SparseRegressionPayload out;
   out.c_ = a.c_ * b.c_;
-  // s = cb * sa + ca * sb.
-  out.s_ = MergeSum(a.s_, b.s_, b.c_, a.c_,
-                    [](const auto& e) { return e.slot; });
-  // Q = cb * Qa + ca * Qb ...
-  out.q_ = MergeSum(a.q_, b.q_, b.c_, a.c_,
-                    [](const auto& e) { return e.code; });
-  // ... + sa sb^T + sb sa^T: entry (x <= y) gets sa_x*sb_y + sb_x*sa_y.
-  if (!a.s_.empty() && !b.s_.empty()) {
-    std::vector<QEntry> cross;
-    cross.reserve(a.s_.size() * b.s_.size());
-    for (const SEntry& ea : a.s_) {
-      for (const SEntry& eb : b.s_) {
-        cross.push_back(
-            {SparseRegressionPayload::PairCode(ea.slot, eb.slot),
-             ea.value * eb.value});
-      }
+  // One up-front reserve covering the worst case (both operands' entries
+  // plus every cross pair): the merges below must never reallocate
+  // mid-stream.
+  const size_t bound = a.keys_.size() + b.keys_.size() +
+                       static_cast<size_t>(a.s_count_) * b.s_count_;
+  out.keys_.reserve(bound);
+  out.vals_.reserve(bound);
+  // s = cb*sa + ca*sb.
+  MergeSumInto(a.keys_.data(), a.vals_.data(), a.s_count_, b.keys_.data(),
+               b.vals_.data(), b.s_count_, b.c_, a.c_, out.keys_, out.vals_);
+  out.s_count_ = static_cast<uint32_t>(out.keys_.size());
+
+  const uint64_t* aqk = a.keys_.data() + a.s_count_;
+  const double* aqv = a.vals_.data() + a.s_count_;
+  const size_t aqn = a.keys_.size() - a.s_count_;
+  const uint64_t* bqk = b.keys_.data() + b.s_count_;
+  const double* bqv = b.vals_.data() + b.s_count_;
+  const size_t bqn = b.keys_.size() - b.s_count_;
+
+  if (a.s_count_ == 0 || b.s_count_ == 0) {
+    // No cross terms: Q = cb*Qa + ca*Qb.
+    MergeSumInto(aqk, aqv, aqn, bqk, bqv, bqn, b.c_, a.c_, out.keys_,
+                 out.vals_);
+    return out;
+  }
+
+  // Cross terms sa sb^T + sb sa^T: entry (x <= y) gets sa_x*sb_y +
+  // sb_x*sa_y.
+  struct CodeVal {
+    uint64_t code;
+    double value;
+  };
+  std::vector<CodeVal> cross;
+  cross.reserve(static_cast<size_t>(a.s_count_) * b.s_count_);
+  for (size_t i = 0; i < a.s_count_; ++i) {
+    const uint32_t sx = static_cast<uint32_t>(a.keys_[i]);
+    for (size_t j = 0; j < b.s_count_; ++j) {
+      cross.push_back({SparseRegressionPayload::PairCode(
+                           sx, static_cast<uint32_t>(b.keys_[j])),
+                       a.vals_[i] * b.vals_[j]});
     }
-    std::sort(cross.begin(), cross.end(),
-              [](const QEntry& x, const QEntry& y) { return x.code < y.code; });
-    // Coalesce duplicate codes. Note both (x,y) orderings of the two outer
-    // products land on the same packed code, which is exactly the desired
-    // sa_x*sb_y + sb_x*sa_y accumulation; the diagonal gets 2*sa_x*sb_x from
-    // ... a single pass? No: the diagonal pair (x,x) appears once per outer
-    // product; we must double it explicitly.
-    std::vector<QEntry> folded;
-    for (const QEntry& e : cross) {
-      double v = e.value;
-      uint32_t x = static_cast<uint32_t>(e.code >> 32);
-      uint32_t y = static_cast<uint32_t>(e.code & 0xffffffffu);
-      if (x == y) v *= 2.0;  // sa_x sb_x + sb_x sa_x
-      if (!folded.empty() && folded.back().code == e.code) {
-        folded.back().value += v;
-      } else {
-        folded.push_back({e.code, v});
-      }
+  }
+  std::sort(cross.begin(), cross.end(),
+            [](const CodeVal& x, const CodeVal& y) {
+              return x.code < y.code;
+            });
+  // Coalesce duplicate codes in place. Both (x,y) orderings of the two
+  // outer products land on the same packed code, which is exactly the
+  // desired sa_x*sb_y + sb_x*sa_y accumulation; the diagonal pair (x,x)
+  // appears only once per outer product and must be doubled explicitly.
+  size_t w = 0;
+  for (const CodeVal& e : cross) {
+    double v = e.value;
+    uint32_t x = static_cast<uint32_t>(e.code >> 32);
+    uint32_t y = static_cast<uint32_t>(e.code & 0xffffffffu);
+    if (x == y) v *= 2.0;  // sa_x sb_x + sb_x sa_x
+    if (w > 0 && cross[w - 1].code == e.code) {
+      cross[w - 1].value += v;
+    } else {
+      cross[w++] = {e.code, v};
     }
-    out.q_ = MergeSum(out.q_, folded, 1.0, 1.0,
-                      [](const auto& e) { return e.code; });
+  }
+
+  // One 3-way merge of cb*Qa, ca*Qb and the folded cross terms, written
+  // straight into out's quadratic region. The scaled halves combine and
+  // drop-if-zero first, then the cross term joins — the same association
+  // (and zero-dropping points) as merging the halves and then the cross.
+  size_t i = 0, j = 0, k = 0;
+  while (i < aqn || j < bqn || k < w) {
+    uint64_t key = ~uint64_t{0};
+    if (i < aqn) key = aqk[i];
+    if (j < bqn && bqk[j] < key) key = bqk[j];
+    if (k < w && cross[k].code < key) key = cross[k].code;
+    double m = 0.0;
+    bool has_m = false;
+    const bool in_a = i < aqn && aqk[i] == key;
+    const bool in_b = j < bqn && bqk[j] == key;
+    if (in_a && in_b) {
+      m = b.c_ * aqv[i] + a.c_ * bqv[j];
+    } else if (in_a) {
+      m = aqv[i] * b.c_;
+    } else if (in_b) {
+      m = bqv[j] * a.c_;
+    }
+    if ((in_a || in_b) && m != 0.0) has_m = true;
+    i += in_a;
+    j += in_b;
+    double v;
+    bool have = has_m;
+    if (k < w && cross[k].code == key) {
+      v = has_m ? m + cross[k].value : cross[k].value;
+      have = true;
+      ++k;
+    } else {
+      v = m;
+    }
+    if (have && v != 0.0) {
+      out.keys_.push_back(key);
+      out.vals_.push_back(v);
+    }
   }
   return out;
 }
@@ -131,16 +226,9 @@ SparseRegressionPayload Mul(const SparseRegressionPayload& a,
 bool SparseRegressionPayload::operator==(
     const SparseRegressionPayload& o) const {
   if (c_ != o.c_) return false;
-  if (s_.size() != o.s_.size() || q_.size() != o.q_.size()) return false;
-  for (size_t i = 0; i < s_.size(); ++i) {
-    if (s_[i].slot != o.s_[i].slot || s_[i].value != o.s_[i].value) {
-      return false;
-    }
-  }
-  for (size_t i = 0; i < q_.size(); ++i) {
-    if (q_[i].code != o.q_[i].code || q_[i].value != o.q_[i].value) {
-      return false;
-    }
+  if (s_count_ != o.s_count_ || keys_ != o.keys_) return false;
+  for (size_t i = 0; i < vals_.size(); ++i) {
+    if (vals_[i] != o.vals_[i]) return false;
   }
   return true;
 }

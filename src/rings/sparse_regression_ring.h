@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/data/value.h"
+#include "src/util/simd.h"
 
 namespace fivm {
 
@@ -18,6 +19,17 @@ namespace fivm {
 /// Semantically identical to RegressionPayload (same ring, Definition 6.2);
 /// the representation difference is exactly what the paper's SQL-OPT vs
 /// F-IVM comparison measures.
+///
+/// Storage is key/payload-split (the same SoA discipline as the Relation
+/// entry pool), in exactly two arrays: `keys_` holds the linear slots
+/// followed by the packed quadratic pair codes (`s_count_` marks the
+/// split), `vals_` the parallel doubles. Two arrays — not four — keeps the
+/// per-payload allocation count at the seed's level, and the single
+/// contiguous value lane is what the SIMD fast path runs over: combining
+/// two payloads with identical key layouts (the steady state once a view's
+/// aggregate support stabilizes) is one key-array equality check plus one
+/// lane kernel over all values, linear and quadratic together. Keys stay
+/// sorted within each region; values are non-zero.
 class SparseRegressionPayload {
  public:
   SparseRegressionPayload() : c_(0.0) {}
@@ -31,8 +43,9 @@ class SparseRegressionPayload {
   static SparseRegressionPayload Lift(uint32_t slot, double x) {
     SparseRegressionPayload p;
     p.c_ = 1.0;
-    p.s_.push_back({slot, x});
-    p.q_.push_back({PairCode(slot, slot), x * x});
+    p.s_count_ = 1;
+    p.keys_ = {slot, PairCode(slot, slot)};
+    p.vals_ = {x, x * x};
     return p;
   }
 
@@ -40,9 +53,14 @@ class SparseRegressionPayload {
   double Sum(uint32_t slot) const;
   double Cofactor(uint32_t i, uint32_t j) const;
 
-  bool IsZero() const;
+  bool IsZero() const { return c_ == 0.0 && keys_.empty(); }
 
-  SparseRegressionPayload operator-() const;
+  SparseRegressionPayload operator-() const {
+    SparseRegressionPayload p = *this;
+    p.c_ = -p.c_;
+    simd::Negate(p.vals_.data(), p.vals_.size());
+    return p;
+  }
 
   friend SparseRegressionPayload Add(const SparseRegressionPayload& a,
                                      const SparseRegressionPayload& b);
@@ -54,23 +72,14 @@ class SparseRegressionPayload {
   bool operator==(const SparseRegressionPayload& o) const;
 
   size_t ApproxBytes() const {
-    return sizeof(*this) + s_.capacity() * sizeof(SEntry) +
-           q_.capacity() * sizeof(QEntry);
+    return sizeof(*this) + keys_.capacity() * sizeof(uint64_t) +
+           vals_.capacity() * sizeof(double);
   }
 
-  size_t LinearEntryCount() const { return s_.size(); }
-  size_t QuadraticEntryCount() const { return q_.size(); }
+  size_t LinearEntryCount() const { return s_count_; }
+  size_t QuadraticEntryCount() const { return keys_.size() - s_count_; }
 
  private:
-  struct SEntry {
-    uint32_t slot;
-    double value;
-  };
-  struct QEntry {
-    uint64_t code;  // (min << 32) | max
-    double value;
-  };
-
   static uint64_t PairCode(uint32_t i, uint32_t j) {
     if (i > j) {
       uint32_t t = i;
@@ -80,9 +89,15 @@ class SparseRegressionPayload {
     return (static_cast<uint64_t>(i) << 32) | j;
   }
 
+  // Drops entries whose value cancelled to exactly 0.0 (rare: exact
+  // insert/delete pairs), keeping the no-zero-values invariant and the
+  // region split consistent.
+  void CompactZeros();
+
   double c_;
-  std::vector<SEntry> s_;  // sorted by slot, no zero values
-  std::vector<QEntry> q_;  // sorted by code, no zero values
+  uint32_t s_count_ = 0;  // keys_[0, s_count_): slots; rest: pair codes
+  std::vector<uint64_t> keys_;
+  std::vector<double> vals_;
 };
 
 SparseRegressionPayload Add(const SparseRegressionPayload& a,

@@ -1,0 +1,142 @@
+// The AVX2 arm of the fivm::simd kernels. This translation unit is the only
+// one compiled with -mavx2 (see CMakeLists.txt) — and with -mavx2 *alone*:
+// without -mfma the compiler cannot contract the explicit mul/add intrinsic
+// pairs below into vfmadd, so every lane rounds exactly like the scalar
+// fallback's `mul` then `add` and the two dispatch arms stay bitwise equal
+// (fuzz-checked by tests/simd_dispatch_test.cc). Keep any future kernel to
+// that discipline: element-wise, mul/add pairs, no horizontal reductions.
+
+#include "src/util/simd.h"
+
+#if defined(FIVM_SIMD_AVX2_BUILD)
+
+#include <immintrin.h>
+
+namespace fivm::simd::detail {
+
+void AddToAvx2(double* dst, const double* src, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d d = _mm256_loadu_pd(dst + i);
+    __m256d s = _mm256_loadu_pd(src + i);
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(d, s));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void AxpyToAvx2(double* dst, const double* src, double a, size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d d = _mm256_loadu_pd(dst + i);
+    __m256d s = _mm256_loadu_pd(src + i);
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(d, _mm256_mul_pd(va, s)));
+  }
+  for (; i < n; ++i) dst[i] += a * src[i];
+}
+
+void ScalePairToAvx2(double* dst, const double* x, const double* y, double a,
+                     double b, size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  const __m256d vb = _mm256_set1_pd(b);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d vx = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    __m256d vy = _mm256_mul_pd(vb, _mm256_loadu_pd(y + i));
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(vx, vy));
+  }
+  for (; i < n; ++i) dst[i] = a * x[i] + b * y[i];
+}
+
+void ScaleToAvx2(double* dst, const double* src, double a, size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_mul_pd(va, _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = a * src[i];
+}
+
+void SumToAvx2(double* dst, const double* x, const double* y, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        dst + i, _mm256_add_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) dst[i] = x[i] + y[i];
+}
+
+void NegateAvx2(double* v, size_t n) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(v + i, _mm256_xor_pd(_mm256_loadu_pd(v + i), sign));
+  }
+  for (; i < n; ++i) v[i] = -v[i];
+}
+
+void Rank1UpperToAvx2(double* q, const double* sa, const double* sb,
+                      size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    const double sax = sa[i];
+    const double sbx = sb[i];
+    if (sax != 0.0 || sbx != 0.0) {
+      const __m256d va = _mm256_set1_pd(sax);
+      const __m256d vb = _mm256_set1_pd(sbx);
+      const size_t n = len - i;
+      size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        __m256d d = _mm256_loadu_pd(q + j);
+        __m256d x = _mm256_mul_pd(va, _mm256_loadu_pd(sb + i + j));
+        __m256d y = _mm256_mul_pd(vb, _mm256_loadu_pd(sa + i + j));
+        _mm256_storeu_pd(q + j, _mm256_add_pd(d, _mm256_add_pd(x, y)));
+      }
+      for (; j < n; ++j) q[j] += sax * sb[i + j] + sbx * sa[i + j];
+    }
+    q += len - i;
+  }
+}
+
+void DisjointMulRowsToAvx2(double* q, const double* pq, const double* ps,
+                           const double* rs, double pscale, size_t plen,
+                           size_t gap, size_t rlen, size_t len) {
+  const __m256d vscale = _mm256_set1_pd(pscale);
+  for (size_t i = 0; i < plen; ++i) {
+    const size_t seg = plen - i;
+    size_t j = 0;
+    for (; j + 4 <= seg; j += 4) {
+      _mm256_storeu_pd(q + j,
+                       _mm256_mul_pd(vscale, _mm256_loadu_pd(pq + j)));
+    }
+    for (; j < seg; ++j) q[j] = pscale * pq[j];
+    for (j = 0; j < gap; ++j) q[seg + j] = 0.0;
+    const __m256d vp = _mm256_set1_pd(ps[i]);
+    double* rect = q + seg + gap;
+    for (j = 0; j + 4 <= rlen; j += 4) {
+      _mm256_storeu_pd(rect + j,
+                       _mm256_mul_pd(vp, _mm256_loadu_pd(rs + j)));
+    }
+    for (; j < rlen; ++j) rect[j] = ps[i] * rs[j];
+    q += len - i;
+    pq += seg;
+  }
+}
+
+bool AnyNonZeroAvx2(const double* v, size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  // NEQ_UQ: true for any value that compares unequal to 0.0 — which treats
+  // -0.0 as zero and NaN as non-zero, exactly like the scalar `!= 0.0`.
+  for (; i + 4 <= n; i += 4) {
+    __m256d ne = _mm256_cmp_pd(_mm256_loadu_pd(v + i), zero, _CMP_NEQ_UQ);
+    if (_mm256_movemask_pd(ne) != 0) return true;
+  }
+  for (; i < n; ++i) {
+    if (v[i] != 0.0) return true;
+  }
+  return false;
+}
+
+}  // namespace fivm::simd::detail
+
+#endif  // FIVM_SIMD_AVX2_BUILD

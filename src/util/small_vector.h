@@ -139,6 +139,22 @@ class SmallVector {
     }
   }
 
+  /// Sets the size to `n` without value-initializing grown elements —
+  /// callers promise to overwrite every new element before reading it.
+  /// Only meaningful for trivial element types (the double payload buffers
+  /// of the ring kernels, which fill the whole buffer with one pass and
+  /// must not pay a zero-fill first); falls back to value-initializing
+  /// resize otherwise.
+  void resize_uninitialized(size_t n) {
+    if constexpr (std::is_trivially_default_constructible_v<T> &&
+                  std::is_trivially_destructible_v<T>) {
+      reserve(n);
+      size_ = n;
+    } else {
+      resize(n);
+    }
+  }
+
   iterator erase(iterator pos) {
     assert(pos >= begin() && pos < end());
     std::move(pos + 1, end(), pos);

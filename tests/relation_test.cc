@@ -120,7 +120,7 @@ TEST(RelationTest, CompactionRebuildsSecondaryIndexes) {
     const auto* slots = idx.Probe(Tuple::Ints({g}));
     if (slots == nullptr) continue;
     for (uint32_t s : *slots) {
-      if (!I64Ring::IsZero(r.EntryAt(s).payload)) ++total;
+      if (!I64Ring::IsZero(r.PayloadAt(s))) ++total;
     }
   }
   EXPECT_EQ(total, 10u);

@@ -161,7 +161,7 @@ TEST(TupleHashTest, CompactionKeepsProbesConsistent) {
     const auto* slots = idx.Probe(Tuple::Ints({g}));
     if (slots == nullptr) continue;
     for (uint32_t s : *slots) {
-      if (!I64Ring::IsZero(r.EntryAt(s).payload)) ++live;
+      if (!I64Ring::IsZero(r.PayloadAt(s))) ++live;
     }
   }
   EXPECT_EQ(live, 100u);

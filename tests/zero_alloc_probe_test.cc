@@ -49,8 +49,7 @@ TEST(ZeroAllocProbeTest, SecondaryIndexProbeIsAllocationFree) {
     const auto* slots = index.Probe(TupleView(lk, left_common));
     if (slots == nullptr) return;
     for (uint32_t slot : *slots) {
-      const auto& e = right.EntryAt(slot);
-      if (!I64Ring::IsZero(e.payload)) ++matches;
+      if (!I64Ring::IsZero(right.PayloadAt(slot))) ++matches;
     }
   });
   int64_t after = util::MemoryTracker::AllocationCount();
