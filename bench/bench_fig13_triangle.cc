@@ -14,6 +14,7 @@
 #include "src/baselines/recursive_ivm.h"
 #include "src/core/ivm_engine.h"
 #include "src/core/view_tree.h"
+#include "src/ivme/triangle_engine.h"
 #include "src/ml/cofactor.h"
 #include "src/workloads/stream.h"
 #include "src/workloads/twitter.h"
@@ -27,7 +28,10 @@ using workloads::UpdateStream;
 
 void Run() {
   TwitterConfig cfg;
-  cfg.nodes = 2000;
+  // Scriptable sweep knobs (run_benches.sh, bench-smoke CI): node count and
+  // Zipf skew default to the original hard-coded figure configuration.
+  cfg.nodes = static_cast<uint64_t>(bench::EnvInt("FIVM_BENCH_NODES", 2000));
+  cfg.zipf_theta = bench::EnvDouble("FIVM_BENCH_SKEW", cfg.zipf_theta);
   cfg.edges = 9000 * bench::BenchScale();
   auto ds = TwitterDataset::Generate(cfg);
   Query& query = *ds->query;
@@ -130,6 +134,24 @@ void Run() {
                             UpdateStream::ToDelta<F64Ring>(query, b));
         },
         [&] { return engine.TotalBytes() / 1e6; });
+  }
+
+  {
+    // IVM-EPS: the worst-case-optimal triangle *count* maintenance
+    // (src/ivme/, amortized O(√N) per single-tuple update). A scenario arm,
+    // not cofactor-comparable with the ring arms above — the honest
+    // count-vs-count A/B against F-IVM and 1-IVM lives in bench_ivme_skew.
+    ivme::TriangleEngine<I64Ring> engine(query, ds->r, ds->s, ds->t);
+    bench::RunSeries(
+        "IVM-EPS", stream,
+        [&](const UpdateStream::Batch& b) {
+          for (size_t i = 0; i < b.tuples.size(); ++i) {
+            engine.ApplyUpdate(b.relation, b.tuples[i],
+                               UpdateStream::UnitPayload<I64Ring>(b, i));
+          }
+        },
+        [&] { return engine.TotalBytes() / 1e6; });
+    std::printf("REBALANCE IVM-EPS: %s\n", engine.StatsString().c_str());
   }
 
   {

@@ -5,10 +5,13 @@
 # bench_micro_join, bench_fig13_triangle and their per-system rows) are
 # kept stable; PR2 added the bench_batch sweep (DeltaBatcher +
 # ParallelExecutor over fig13/fig7); PR4 added the fig7 housing series and
-# the probe-hit/miss/insert/erase hash-core micros; PR5 adds bench_ring
-# (ring kernels, scalar vs AVX2 dispatch arms). Knobs (all optional):
-#   FIVM_BENCH_LABEL      result key in the JSON (default: pr5)
-#   FIVM_BENCH_OUT        output JSON path (default: <repo>/BENCH_PR5.json)
+# the probe-hit/miss/insert/erase hash-core micros; PR5 added bench_ring
+# (ring kernels, scalar vs AVX2 dispatch arms); PR6 adds the bench_ivme_skew
+# N-sweep (IVM^ε vs F-IVM vs 1-IVM triangle-count maintenance on the
+# adversarial skewed stream — the SPEEDUP ratio must widen with N).
+# Knobs (all optional):
+#   FIVM_BENCH_LABEL      result key in the JSON (default: pr6)
+#   FIVM_BENCH_OUT        output JSON path (default: <repo>/BENCH_PR6.json)
 #   FIVM_BENCH_BUILD_DIR  build tree (default: <repo>/build-bench)
 #   FIVM_BENCH_SCALE      dataset scale for the figure harnesses (default 1)
 #   FIVM_BENCH_BUDGET_SEC per-strategy budget in seconds (default 20)
@@ -16,15 +19,15 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${FIVM_BENCH_BUILD_DIR:-$ROOT/build-bench}"
-OUT="${FIVM_BENCH_OUT:-$ROOT/BENCH_PR5.json}"
-LABEL="${FIVM_BENCH_LABEL:-pr5}"
+OUT="${FIVM_BENCH_OUT:-$ROOT/BENCH_PR6.json}"
+LABEL="${FIVM_BENCH_LABEL:-pr6}"
 export FIVM_BENCH_SCALE="${FIVM_BENCH_SCALE:-1}"
 export FIVM_BENCH_BUDGET_SEC="${FIVM_BENCH_BUDGET_SEC:-20}"
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
     bench_micro_relation bench_micro_join bench_fig13_triangle \
-    bench_fig7_housing bench_batch bench_ring >/dev/null
+    bench_fig7_housing bench_batch bench_ring bench_ivme_skew >/dev/null
 
 "$BUILD_DIR/bench/bench_micro_relation" \
     --benchmark_format=json > "$BUILD_DIR/micro_relation.json"
@@ -36,6 +39,16 @@ cmake --build "$BUILD_DIR" -j --target \
 "$BUILD_DIR/bench/bench_fig7_housing" | tee "$BUILD_DIR/fig7.txt"
 "$BUILD_DIR/bench/bench_batch" | tee "$BUILD_DIR/batch.txt"
 
+# IVM^ε asymptotic sweep: 3 N settings (updates scale with the domain) at
+# high hot-vertex skew; the per-N SPEEDUP ratios in the JSON should widen.
+for nodes in 1000 4000 16000; do
+  FIVM_BENCH_NODES="$nodes" \
+  FIVM_BENCH_UPDATES="$((nodes * 20 * FIVM_BENCH_SCALE))" \
+  FIVM_BENCH_SKEW=1.4 \
+      "$BUILD_DIR/bench/bench_ivme_skew" \
+      | tee "$BUILD_DIR/ivme_skew_n$nodes.txt"
+done
+
 python3 "$ROOT/bench/collect_bench_json.py" \
     --label "$LABEL" \
     --out "$OUT" \
@@ -44,6 +57,9 @@ python3 "$ROOT/bench/collect_bench_json.py" \
     --gbench bench_ring="$BUILD_DIR/ring.json" \
     --series bench_fig13_triangle="$BUILD_DIR/fig13.txt" \
     --series bench_fig7_housing="$BUILD_DIR/fig7.txt" \
-    --series bench_batch="$BUILD_DIR/batch.txt"
+    --series bench_batch="$BUILD_DIR/batch.txt" \
+    --series bench_ivme_skew_n1000="$BUILD_DIR/ivme_skew_n1000.txt" \
+    --series bench_ivme_skew_n4000="$BUILD_DIR/ivme_skew_n4000.txt" \
+    --series bench_ivme_skew_n16000="$BUILD_DIR/ivme_skew_n16000.txt"
 
 echo "Wrote $OUT (label: $LABEL)"

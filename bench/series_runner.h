@@ -16,13 +16,15 @@ namespace fivm::bench {
 /// and reported as timeouts, mirroring the paper's one-hour limit.
 ///
 /// `apply` processes one batch; `memory_mb` reports the strategy's current
-/// view memory.
-inline void RunSeries(const char* system,
-                      const workloads::UpdateStream& stream,
-                      const std::function<void(
-                          const workloads::UpdateStream::Batch&)>& apply,
-                      const std::function<double()>& memory_mb,
-                      int report_points = 5) {
+/// view memory. Returns the number of tuples processed, so callers that
+/// compare strategies afterwards (bench_ivme_skew's count verification) can
+/// tell a timed-out arm from a completed one.
+inline uint64_t RunSeries(const char* system,
+                          const workloads::UpdateStream& stream,
+                          const std::function<void(
+                              const workloads::UpdateStream::Batch&)>& apply,
+                          const std::function<double()>& memory_mb,
+                          int report_points = 5) {
   const double budget = BudgetSeconds();
   const uint64_t total = stream.total_tuples();
   uint64_t processed = 0;
@@ -36,7 +38,7 @@ inline void RunSeries(const char* system,
     if (elapsed > budget) {
       PrintTimeoutRow(system, static_cast<double>(processed) / total,
                       processed, elapsed);
-      return;
+      return processed;
     }
     if (processed >= next_report) {
       PrintSeriesRow(system, static_cast<double>(processed) / total,
@@ -49,6 +51,7 @@ inline void RunSeries(const char* system,
     PrintSeriesRow(system, 1.0, processed, timer.ElapsedSeconds(),
                    memory_mb());
   }
+  return processed;
 }
 
 }  // namespace fivm::bench

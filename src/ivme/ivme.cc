@@ -1,0 +1,21 @@
+#include "src/ivme/triangle_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fivm::ivme {
+
+std::string Stats::ToString() const {
+  return "updates=" + std::to_string(updates) +
+         " minor=" + std::to_string(minor_rebalances) +
+         " moved=" + std::to_string(minor_moved_tuples) +
+         " major=" + std::to_string(major_rebalances);
+}
+
+size_t ThresholdFor(size_t m, double epsilon, size_t min_threshold) {
+  double raw = std::pow(static_cast<double>(m), std::clamp(epsilon, 0.0, 1.0));
+  auto rounded = static_cast<size_t>(std::llround(raw));
+  return std::max(min_threshold, rounded);
+}
+
+}  // namespace fivm::ivme

@@ -1,6 +1,9 @@
 #include "src/workloads/stream.h"
 
 #include <algorithm>
+#include <cassert>
+
+#include "src/util/rng.h"
 
 namespace fivm::workloads {
 
@@ -43,17 +46,80 @@ UpdateStream UpdateStream::Rebatched(size_t batch_size) const {
     while (offset < b.tuples.size()) {
       if (out.batches_.empty() || out.batches_.back().relation != b.relation ||
           out.batches_.back().tuples.size() >= batch_size) {
-        out.batches_.push_back(Batch{b.relation, {}});
+        out.batches_.push_back(Batch{b.relation, {}, {}});
       }
       Batch& cur = out.batches_.back();
       size_t take = std::min(batch_size - cur.tuples.size(),
                              b.tuples.size() - offset);
       cur.tuples.insert(cur.tuples.end(), b.tuples.begin() + offset,
                         b.tuples.begin() + offset + take);
+      if (!b.signs.empty()) {
+        // Mixed-sign sources keep per-tuple signs; pad any previously
+        // appended sign-free tuples with +1 so positions stay aligned.
+        if (cur.signs.size() < cur.tuples.size() - take) {
+          cur.signs.resize(cur.tuples.size() - take, 1);
+        }
+        cur.signs.insert(cur.signs.end(), b.signs.begin() + offset,
+                         b.signs.begin() + offset + take);
+      } else if (!cur.signs.empty()) {
+        cur.signs.resize(cur.tuples.size(), 1);
+      }
       offset += take;
     }
   }
   out.total_tuples_ = total_tuples_;
+  return out;
+}
+
+UpdateStream UpdateStream::AdversarialSkew(const SkewConfig& cfg) {
+  assert(cfg.relations > 0 && cfg.nodes > 0);
+  util::Rng rng(cfg.seed);
+  util::ZipfSampler hot(cfg.nodes, cfg.theta);
+
+  // Live tuples inserted so far, per relation: the delete pool. Deleting
+  // swap-removes, so the pool stays dense and O(1) to sample.
+  std::vector<std::vector<Tuple>> pool(cfg.relations);
+
+  UpdateStream out;
+  const size_t burst = std::max<size_t>(1, cfg.burst);
+  uint64_t emitted = 0;
+  int burst_idx = 0;
+  while (emitted < cfg.updates) {
+    const int rel = burst_idx % cfg.relations;
+    ++burst_idx;
+    const int64_t v = static_cast<int64_t>(hot.Sample(rng));
+    const size_t len =
+        std::min<uint64_t>(burst, cfg.updates - emitted);
+    for (size_t u = 0; u < len; ++u) {
+      bool del = rng.Bernoulli(cfg.churn) && !pool[rel].empty();
+      Tuple t;
+      int8_t sign;
+      if (del) {
+        size_t pick = rng.Uniform(pool[rel].size());
+        t = pool[rel][pick];
+        pool[rel][pick] = std::move(pool[rel].back());
+        pool[rel].pop_back();
+        sign = -1;
+      } else {
+        // Hot vertex in the first (partition/join-variable) position; the
+        // second endpoint is Zipf-skewed too, so reversed-role degrees are
+        // adversarial as well.
+        int64_t w = static_cast<int64_t>(hot.Sample(rng));
+        t = Tuple::Ints({v, w});
+        pool[rel].push_back(t);
+        sign = 1;
+      }
+      if (out.batches_.empty() || out.batches_.back().relation != rel ||
+          out.batches_.back().tuples.size() >= cfg.batch_size) {
+        out.batches_.push_back(Batch{rel, {}, {}});
+      }
+      Batch& cur = out.batches_.back();
+      cur.tuples.push_back(std::move(t));
+      cur.signs.push_back(sign);
+      ++out.total_tuples_;
+      ++emitted;
+    }
+  }
   return out;
 }
 

@@ -2,6 +2,7 @@
 #define FIVM_WORKLOADS_STREAM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/core/query.h"
@@ -12,12 +13,15 @@ namespace fivm::workloads {
 
 /// A synthesized update stream (Section 7): tuples of the input relations
 /// interleaved round-robin and grouped into fixed-size batches, each batch
-/// targeting one relation.
+/// targeting one relation. Batches carry an optional per-tuple sign vector:
+/// empty means all inserts (the original figure streams), otherwise
+/// signs[i] is +1 for an insert and -1 for a delete of tuples[i].
 class UpdateStream {
  public:
   struct Batch {
     int relation;
     std::vector<Tuple> tuples;
+    std::vector<int8_t> signs;  // empty = all +1
   };
 
   /// Interleaves the per-relation tuple lists round-robin in chunks of
@@ -30,6 +34,29 @@ class UpdateStream {
                                      const std::vector<Tuple>& tuples,
                                      size_t batch_size);
 
+  /// Configuration of the adversarial skewed stream (the IVM^ε acceptance
+  /// workload): hot-vertex insert/delete bursts. Each burst targets one
+  /// relation (round-robin) and one Zipf-sampled "hot" vertex, emitting
+  /// `burst` updates whose first (partition/join) value is the hot vertex;
+  /// within a burst a `churn` fraction of updates deletes a tuple inserted
+  /// earlier in the stream instead of inserting a fresh one. High `theta`
+  /// concentrates bursts on a few vertices, which drives their degrees to
+  /// Θ(stream length) — the workload where classic per-update delta joins
+  /// degrade to O(N) while IVM^ε stays O(√N) amortized.
+  struct SkewConfig {
+    uint64_t nodes = 1000;     // vertex domain [0, nodes)
+    uint64_t updates = 30000;  // total update events (inserts + deletes)
+    size_t batch_size = 1000;  // max tuples per emitted batch
+    size_t burst = 64;         // updates per hot-vertex burst
+    double theta = 1.2;        // Zipf skew of hot-vertex selection
+    double churn = 0.4;        // fraction of events deleting a live tuple
+    int relations = 3;         // bursts round-robin over [0, relations)
+    uint64_t seed = 7;
+  };
+
+  /// Deterministic for a fixed config (pinned by workloads_test).
+  static UpdateStream AdversarialSkew(const SkewConfig& cfg);
+
   /// Re-groups this stream into batches of at most `batch_size` tuples
   /// (0 is treated as 1), preserving tuple order and cutting a batch
   /// whenever the target relation changes. bench_batch derives its
@@ -41,12 +68,15 @@ class UpdateStream {
   const std::vector<Batch>& batches() const { return batches_; }
   size_t total_tuples() const { return total_tuples_; }
 
-  /// Converts a batch into a delta relation with unit payloads (inserts).
+  /// Converts a batch into a delta relation with unit payloads: +1 per
+  /// insert, -1 (Ring::Neg(One)) per delete when the batch carries signs.
   template <typename Ring>
   static Relation<Ring> ToDelta(const Query& query, const Batch& batch) {
     Relation<Ring> delta(query.relation(batch.relation).schema);
     delta.Reserve(batch.tuples.size());
-    for (const Tuple& t : batch.tuples) delta.Add(t, Ring::One());
+    for (size_t i = 0; i < batch.tuples.size(); ++i) {
+      delta.Add(batch.tuples[i], UnitPayload<Ring>(batch, i));
+    }
     return delta;
   }
 
@@ -62,10 +92,18 @@ class UpdateStream {
     Relation<Ring> delta(layout);
     delta.Reserve(batch.tuples.size());
     auto pos = src.PositionsOf(layout);
-    for (const Tuple& t : batch.tuples) {
-      delta.Add(t.Project(pos), Ring::One());
+    for (size_t i = 0; i < batch.tuples.size(); ++i) {
+      delta.Add(batch.tuples[i].Project(pos), UnitPayload<Ring>(batch, i));
     }
     return delta;
+  }
+
+  /// The ring payload of tuple `i` of `batch`: One for inserts, Neg(One)
+  /// for deletes. Per-tuple appliers (the IVM^ε engine) use this directly.
+  template <typename Ring>
+  static typename Ring::Element UnitPayload(const Batch& batch, size_t i) {
+    if (batch.signs.empty() || batch.signs[i] >= 0) return Ring::One();
+    return Ring::Neg(Ring::One());
   }
 
  private:

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <tuple>
+#include <vector>
+
 #include "src/core/ivm_engine.h"
 #include "src/core/view_tree.h"
 #include "src/workloads/housing.h"
@@ -215,6 +219,99 @@ TEST(StreamTest, RebatchedPreservesOrderAndCutsAtRelationChanges) {
 
   // batch_size 0 is clamped to 1 instead of looping forever.
   EXPECT_EQ(stream.Rebatched(0).batches().size(), 8u);
+}
+
+TEST(StreamTest, AdversarialSkewIsDeterministic) {
+  UpdateStream::SkewConfig cfg;
+  cfg.nodes = 100;
+  cfg.updates = 5000;
+  cfg.batch_size = 128;
+  cfg.burst = 32;
+  cfg.theta = 1.3;
+  cfg.churn = 0.4;
+  cfg.seed = 42;
+
+  auto a = UpdateStream::AdversarialSkew(cfg);
+  auto b = UpdateStream::AdversarialSkew(cfg);
+  ASSERT_EQ(a.batches().size(), b.batches().size());
+  ASSERT_EQ(a.total_tuples(), cfg.updates);
+  for (size_t i = 0; i < a.batches().size(); ++i) {
+    const auto& ba = a.batches()[i];
+    const auto& bb = b.batches()[i];
+    ASSERT_EQ(ba.relation, bb.relation) << "batch " << i;
+    ASSERT_EQ(ba.tuples, bb.tuples) << "batch " << i;
+    ASSERT_EQ(ba.signs, bb.signs) << "batch " << i;
+    ASSERT_EQ(ba.signs.size(), ba.tuples.size()) << "batch " << i;
+  }
+
+  // A different seed reorders the stream.
+  cfg.seed = 43;
+  auto c = UpdateStream::AdversarialSkew(cfg);
+  bool differs = c.batches().size() != a.batches().size();
+  for (size_t i = 0; !differs && i < a.batches().size(); ++i) {
+    differs = a.batches()[i].tuples != c.batches()[i].tuples ||
+              a.batches()[i].signs != c.batches()[i].signs;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(StreamTest, AdversarialSkewMixesChurnAndRelations) {
+  UpdateStream::SkewConfig cfg;
+  cfg.nodes = 50;
+  cfg.updates = 4000;
+  cfg.theta = 1.2;
+  cfg.churn = 0.5;
+  cfg.seed = 7;
+
+  auto stream = UpdateStream::AdversarialSkew(cfg);
+  size_t inserts = 0, deletes = 0;
+  std::array<size_t, 3> per_relation{};
+  for (const auto& b : stream.batches()) {
+    ASSERT_GE(b.relation, 0);
+    ASSERT_LT(b.relation, 3);
+    for (size_t i = 0; i < b.tuples.size(); ++i) {
+      ASSERT_EQ(b.tuples[i].size(), 2u);
+      if (b.signs[i] >= 0) {
+        ++inserts;
+      } else {
+        ++deletes;
+      }
+      ++per_relation[static_cast<size_t>(b.relation)];
+    }
+  }
+  EXPECT_EQ(inserts + deletes, cfg.updates);
+  // Churn = 0.5 with warm pools: a healthy share of both kinds.
+  EXPECT_GT(deletes, cfg.updates / 5);
+  EXPECT_GT(inserts, cfg.updates / 5);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_GT(per_relation[r], 0u) << "relation " << r << " never updated";
+  }
+}
+
+TEST(StreamTest, RebatchedPreservesSigns) {
+  UpdateStream::SkewConfig cfg;
+  cfg.nodes = 30;
+  cfg.updates = 1000;
+  cfg.batch_size = 100;
+  cfg.churn = 0.5;
+  cfg.seed = 5;
+  auto stream = UpdateStream::AdversarialSkew(cfg);
+
+  auto fine = stream.Rebatched(1);
+  // Flatten both streams into (relation, tuple, sign) event sequences;
+  // rebatching must preserve the exact event order.
+  auto flatten = [](const UpdateStream& s) {
+    std::vector<std::tuple<int, Tuple, int8_t>> out;
+    for (const auto& b : s.batches()) {
+      for (size_t i = 0; i < b.tuples.size(); ++i) {
+        int8_t sign = b.signs.empty() ? int8_t{1} : b.signs[i];
+        out.emplace_back(b.relation, b.tuples[i], sign);
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(flatten(stream), flatten(fine));
+  EXPECT_EQ(flatten(stream), flatten(stream.Rebatched(37)));
 }
 
 TEST(StreamTest, ToDeltaAggregatesDuplicates) {
