@@ -31,6 +31,8 @@
 #include "src/core/ivm_engine.h"
 #include "src/core/view_tree.h"
 #include "src/ivme/triangle_engine.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
 #include "src/rings/lifting.h"
 #include "src/util/timer.h"
 #include "src/workloads/stream.h"
@@ -82,6 +84,13 @@ struct Arm {
   std::function<int64_t()> count;
   std::function<double()> memory_mb;
   std::vector<RunResult> runs;
+  /// Per-arm latency distribution, pooled over every repeat (the repeats
+  /// exist to stabilize the throughput median; for a distribution more
+  /// samples only sharpen the tail). IVM-EPS records per single-tuple
+  /// update — the granularity at which its rebalance spikes live — the
+  /// batch-driven arms per batch.
+  std::shared_ptr<obs::Histogram> latency = std::make_shared<obs::Histogram>();
+  const char* latency_unit = "batch";
 };
 
 double MedianSeconds(const std::vector<RunResult>& runs) {
@@ -124,6 +133,10 @@ void Run() {
   std::unique_ptr<IvmEngine<I64Ring>> fivm;
   std::unique_ptr<FirstOrderIvm<I64Ring>> first_order;
 
+  auto eps_lat = std::make_shared<obs::Histogram>();
+  auto fivm_lat = std::make_shared<obs::Histogram>();
+  auto foivm_lat = std::make_shared<obs::Histogram>();
+
   std::vector<Arm> arms;
   arms.push_back(Arm{
       "IVM-EPS",
@@ -131,15 +144,18 @@ void Run() {
         eps = std::make_unique<ivme::TriangleEngine<I64Ring>>(
             query, ds->r, ds->s, ds->t);
       },
-      [&](const UpdateStream::Batch& b) {
+      [&, eps_lat](const UpdateStream::Batch& b) {
         for (size_t i = 0; i < b.tuples.size(); ++i) {
+          obs::ScopedTimer t(eps_lat.get());
           eps->ApplyUpdate(b.relation, b.tuples[i],
                            UpdateStream::UnitPayload<I64Ring>(b, i));
         }
       },
       [&] { return eps->result(); },
       [&] { return eps->TotalBytes() / 1e6; },
-      {}});
+      {},
+      eps_lat,
+      "update"});
   arms.push_back(Arm{
       "F-IVM",
       [&] {
@@ -148,26 +164,32 @@ void Run() {
         fivm = std::make_unique<IvmEngine<I64Ring>>(tree.get(),
                                                     LiftingMap<I64Ring>{});
       },
-      [&](const UpdateStream::Batch& b) {
+      [&, fivm_lat](const UpdateStream::Batch& b) {
+        obs::ScopedTimer t(fivm_lat.get());
         fivm->ApplyDelta(b.relation,
                          UpdateStream::ToDelta<I64Ring>(query, b));
       },
       [&] { return ScalarOf(fivm->result()); },
       [&] { return fivm->TotalBytes() / 1e6; },
-      {}});
+      {},
+      fivm_lat,
+      "batch"});
   arms.push_back(Arm{
       "1-IVM",
       [&] {
         first_order = std::make_unique<FirstOrderIvm<I64Ring>>(
             &query, std::vector<LiftingMap<I64Ring>>{LiftingMap<I64Ring>{}});
       },
-      [&](const UpdateStream::Batch& b) {
+      [&, foivm_lat](const UpdateStream::Batch& b) {
+        obs::ScopedTimer t(foivm_lat.get());
         first_order->ApplyDelta(b.relation,
                                 UpdateStream::ToDelta<I64Ring>(query, b));
       },
       [&] { return ScalarOf(first_order->result()); },
       [&] { return first_order->TotalBytes() / 1e6; },
-      {}});
+      {},
+      foivm_lat,
+      "batch"});
 
   for (int round = 0; round < repeats; ++round) {
     for (auto& arm : arms) {
@@ -178,7 +200,10 @@ void Run() {
   }
 
   // Report the median run per arm (series-row format, parsed into the
-  // perf-trajectory JSON by collect_bench_json.py).
+  // perf-trajectory JSON by collect_bench_json.py), plus the pooled
+  // tail-latency distribution — the per-update cost spread that the
+  // throughput median averages away (a major rebalance is invisible in
+  // mean t/s, unmissable in IVM-EPS's p999).
   for (auto& arm : arms) {
     const RunResult& last = arm.runs.back();
     if (last.timed_out) {
@@ -190,10 +215,30 @@ void Run() {
       bench::PrintSeriesRow(arm.name, 1.0, last.processed,
                             MedianSeconds(arm.runs), arm.memory_mb());
     }
+    bench::PrintLatencyRow(arm.name, *arm.latency, arm.latency_unit);
   }
 
   // The amortization machinery must actually run (CI smoke asserts this).
-  std::printf("REBALANCE IVM-EPS: %s\n", eps->StatsString().c_str());
+  // The counters come from the registry scrape — the ivme gauges bridged
+  // by TriangleEngine — not from a bespoke stats call; with metrics
+  // compiled out the engine's own stats string still supplies the line.
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::Default().Snapshot();
+  auto gauge = [&snap](const char* name) -> long long {
+    for (const auto& [n, v] : snap.gauges) {
+      if (n == name) return static_cast<long long>(v);
+    }
+    return 0;
+  };
+  if (!snap.empty()) {
+    std::printf("REBALANCE IVM-EPS: updates=%lld minor=%lld moved=%lld "
+                "major=%lld threshold=%lld live=%lld\n",
+                gauge("ivme.updates"), gauge("ivme.minor_rebalances"),
+                gauge("ivme.minor_moved_tuples"),
+                gauge("ivme.major_rebalances"), gauge("ivme.threshold"),
+                gauge("ivme.live_tuples"));
+  } else {
+    std::printf("REBALANCE IVM-EPS: %s\n", eps->StatsString().c_str());
+  }
 
   // Count verification across arms that completed the stream.
   const RunResult& eps_run = arms[0].runs.back();
@@ -222,6 +267,12 @@ void Run() {
                   eps_tput / fivm_tput);
     }
   }
+
+  // Observed per-plan-step profile of the F-IVM arm (CI smoke asserts a
+  // non-zero calls/in count on every step) and the full registry snapshot
+  // as one machine-readable line.
+  std::printf("\nEXPLAIN ANALYZE (F-IVM):\n%s", fivm->ExplainAnalyze().c_str());
+  std::printf("METRICS_JSON %s\n", obs::ToJson(snap).c_str());
 }
 
 }  // namespace

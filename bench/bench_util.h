@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/obs/metrics.h"
 #include "src/util/memory_tracker.h"
 #include "src/util/timer.h"
 
@@ -60,6 +61,22 @@ inline void PrintTimeoutRow(const char* system, double fraction,
               system, seconds, fraction,
               static_cast<unsigned long long>(tuples),
               seconds > 0 ? tuples / seconds : 0.0);
+}
+
+/// One tail-latency row: the per-unit latency distribution a strategy
+/// accumulated over its run (unit = batch, update or tuple — named in
+/// `unit`). Printed after the throughput series so collect_bench_json.py
+/// attaches the percentiles to the same system entry. Skipped when the
+/// histogram is empty (e.g. FIVM_METRICS=OFF binaries record nothing).
+inline void PrintLatencyRow(const char* system, const obs::Histogram& hist,
+                            const char* unit) {
+  const obs::HistogramSnapshot s = hist.Snap();
+  if (s.count == 0) return;
+  std::printf("LATENCY %-16s unit=%s p50=%.1fus p99=%.1fus p999=%.1fus "
+              "max=%.1fus n=%llu\n",
+              system, unit, s.p50 / 1e3, s.p99 / 1e3, s.p999 / 1e3,
+              static_cast<double>(s.max) / 1e3,
+              static_cast<unsigned long long>(s.count));
 }
 
 }  // namespace fivm::bench

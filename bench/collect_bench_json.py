@@ -36,29 +36,47 @@ TIMEOUT_ROW = re.compile(
 #   VERIFY fig13: parallel(b1000,t4) stores == sequential ...
 SPEEDUP_ROW = re.compile(r"^SPEEDUP (\S+): (.*) = ([0-9.]+)x")
 VERIFY_ROW = re.compile(r"^VERIFY (\S+): .* (==|!=) ")
+# bench_util.h PrintLatencyRow — per-system tail latency, nested under the
+# same system key as its throughput row (PR7):
+#   LATENCY F-IVM            unit=batch p50=812.4us p99=...us p999=...us ...
+LATENCY_ROW = re.compile(
+    r"^LATENCY (\S.*?)\s+unit=(\S+) p50=([0-9.]+)us p99=([0-9.]+)us "
+    r"p999=([0-9.]+)us max=([0-9.]+)us n=(\d+)")
 
 
 def parse_series(path):
-    """Keeps the last (highest-fraction) row per system."""
+    """Keeps the last (highest-fraction) row per system; latency rows merge
+    into the same system entry regardless of print order."""
     out = {}
     with open(path) as f:
         for line in f:
             m = SERIES_ROW.match(line)
             if m:
-                out[m.group(1)] = {
+                out.setdefault(m.group(1), {}).update({
                     "fraction": float(m.group(2)),
                     "tuples": int(m.group(3)),
                     "throughput_tuples_per_sec": float(m.group(4)),
                     "mem_mb": float(m.group(5)),
-                }
+                })
                 continue
             m = TIMEOUT_ROW.match(line)
             if m:
-                out[m.group(1)] = {
+                out.setdefault(m.group(1), {}).update({
                     "fraction": float(m.group(3)),
                     "tuples": int(m.group(4)),
                     "throughput_tuples_per_sec": float(m.group(5)),
                     "timeout_after_sec": float(m.group(2)),
+                })
+                continue
+            m = LATENCY_ROW.match(line)
+            if m:
+                out.setdefault(m.group(1), {})["latency_us"] = {
+                    "unit": m.group(2),
+                    "p50": float(m.group(3)),
+                    "p99": float(m.group(4)),
+                    "p999": float(m.group(5)),
+                    "max": float(m.group(6)),
+                    "n": int(m.group(7)),
                 }
                 continue
             m = SPEEDUP_ROW.match(line)

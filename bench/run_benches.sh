@@ -8,10 +8,13 @@
 # the probe-hit/miss/insert/erase hash-core micros; PR5 added bench_ring
 # (ring kernels, scalar vs AVX2 dispatch arms); PR6 adds the bench_ivme_skew
 # N-sweep (IVM^ε vs F-IVM vs 1-IVM triangle-count maintenance on the
-# adversarial skewed stream — the SPEEDUP ratio must widen with N).
+# adversarial skewed stream — the SPEEDUP ratio must widen with N);
+# PR7 adds per-system tail-latency percentiles (LATENCY rows from the
+# src/obs/ histograms, stored as "latency_us" under each system entry) to
+# every figure series and the skew sweep.
 # Knobs (all optional):
-#   FIVM_BENCH_LABEL      result key in the JSON (default: pr6)
-#   FIVM_BENCH_OUT        output JSON path (default: <repo>/BENCH_PR6.json)
+#   FIVM_BENCH_LABEL      result key in the JSON (default: pr7)
+#   FIVM_BENCH_OUT        output JSON path (default: <repo>/BENCH_PR7.json)
 #   FIVM_BENCH_BUILD_DIR  build tree (default: <repo>/build-bench)
 #   FIVM_BENCH_SCALE      dataset scale for the figure harnesses (default 1)
 #   FIVM_BENCH_BUDGET_SEC per-strategy budget in seconds (default 20)
@@ -19,8 +22,8 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${FIVM_BENCH_BUILD_DIR:-$ROOT/build-bench}"
-OUT="${FIVM_BENCH_OUT:-$ROOT/BENCH_PR6.json}"
-LABEL="${FIVM_BENCH_LABEL:-pr6}"
+OUT="${FIVM_BENCH_OUT:-$ROOT/BENCH_PR7.json}"
+LABEL="${FIVM_BENCH_LABEL:-pr7}"
 export FIVM_BENCH_SCALE="${FIVM_BENCH_SCALE:-1}"
 export FIVM_BENCH_BUDGET_SEC="${FIVM_BENCH_BUDGET_SEC:-20}"
 

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "bench/bench_util.h"
+#include "src/obs/metrics.h"
 #include "src/util/timer.h"
 #include "src/workloads/stream.h"
 
@@ -19,6 +21,12 @@ namespace fivm::bench {
 /// view memory. Returns the number of tuples processed, so callers that
 /// compare strategies afterwards (bench_ivme_skew's count verification) can
 /// tell a timed-out arm from a completed one.
+///
+/// Every apply() call is individually timed into a per-run latency
+/// histogram, printed as a LATENCY row (p50/p99/p999, unit=batch) after the
+/// series — the paper's per-update maintenance cost as a distribution, not
+/// a mean. With metrics compiled out or disabled the histogram stays empty
+/// and no row is printed.
 inline uint64_t RunSeries(const char* system,
                           const workloads::UpdateStream& stream,
                           const std::function<void(
@@ -30,14 +38,20 @@ inline uint64_t RunSeries(const char* system,
   uint64_t processed = 0;
   uint64_t last_reported = 0;
   uint64_t next_report = total / report_points;
+  // Heap-allocated: a histogram is kShards cache-aligned ~4KB shards.
+  auto latency = std::make_unique<obs::Histogram>();
   util::Timer timer;
   for (const auto& batch : stream.batches()) {
-    apply(batch);
+    {
+      obs::ScopedTimer t(latency.get());
+      apply(batch);
+    }
     processed += batch.tuples.size();
     double elapsed = timer.ElapsedSeconds();
     if (elapsed > budget) {
       PrintTimeoutRow(system, static_cast<double>(processed) / total,
                       processed, elapsed);
+      PrintLatencyRow(system, *latency, "batch");
       return processed;
     }
     if (processed >= next_report) {
@@ -51,6 +65,7 @@ inline uint64_t RunSeries(const char* system,
     PrintSeriesRow(system, 1.0, processed, timer.ElapsedSeconds(),
                    memory_mb());
   }
+  PrintLatencyRow(system, *latency, "batch");
   return processed;
 }
 

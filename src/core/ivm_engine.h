@@ -1,7 +1,10 @@
 #ifndef FIVM_CORE_IVM_ENGINE_H_
 #define FIVM_CORE_IVM_ENGINE_H_
 
+#include <atomic>
 #include <cassert>
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,11 +14,39 @@
 #include "src/data/op_specs.h"
 #include "src/data/relation.h"
 #include "src/data/relation_ops.h"
+#include "src/obs/metrics.h"
 #include "src/plan/propagation_plan.h"
 #include "src/rings/lifting.h"
 #include "src/rings/ring.h"
+#include "src/util/memory_tracker.h"
 
 namespace fivm {
+
+#if FIVM_METRICS_ENABLED
+namespace engine_obs {
+
+/// Observed execution profile of one compiled plan step, accumulated across
+/// every PropagateDelta that reached it (including concurrent shard
+/// callers, hence the relaxed atomics). Engine-owned — not in the global
+/// registry — so each engine instance profiles its own plans and
+/// ExplainAnalyze never mixes arms of an A/B bench.
+struct StepObs {
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> in_tuples{0};
+  std::atomic<uint64_t> out_tuples{0};
+  std::atomic<uint64_t> time_ns{0};
+  std::atomic<uint64_t> allocs{0};
+};
+
+/// Per-plan step profiles, sized once at engine construction (atomics are
+/// immovable, so the vector is never grown).
+struct LeafObs {
+  explicit LeafObs(size_t steps) : step(steps) {}
+  std::vector<StepObs> step;
+};
+
+}  // namespace engine_obs
+#endif  // FIVM_METRICS_ENABLED
 
 /// F-IVM: the factorized higher-order incremental view maintenance engine
 /// (Section 4). Owns the materialized stores of a view tree and implements
@@ -111,6 +142,12 @@ class IvmEngine {
   }
 
   void ApplyDelta(int relation, Relation<Ring>&& delta) {
+#if FIVM_METRICS_ENABLED
+    if (applied_deltas_ != nullptr) {
+      applied_deltas_->Inc();
+      applied_tuples_->Add(delta.size());
+    }
+#endif
     // Indicator deltas are derived from the pre-update base relation.
     std::vector<std::pair<int, Relation<Ring>>> indicator_deltas;
     for (int leaf : tree_->IndicatorLeavesOfRelation(relation)) {
@@ -318,8 +355,29 @@ class IvmEngine {
     Relation<Ring> owned = std::move(cur);
     const Relation<Ring>* left = &owned;
     int next_buf = 0;
+#if FIVM_METRICS_ENABLED
+    // Per-step profile: timer + tuple counts + allocation delta, recorded
+    // into the engine-owned step atomics that ExplainAnalyze reads. One
+    // Enabled() load decides the whole propagation; a disabled run pays a
+    // single well-predicted null check per step.
+    engine_obs::LeafObs* lobs =
+        obs::Enabled() && static_cast<size_t>(from) < obs_by_node_.size()
+            ? obs_by_node_[static_cast<size_t>(from)].get()
+            : nullptr;
+    size_t step_i = 0;
+#endif
     for (const plan::PropagationStep& s : p.steps()) {
       if (left->empty()) return;  // nothing changes upstream
+#if FIVM_METRICS_ENABLED
+      uint64_t t0 = 0;
+      int64_t a0 = 0;
+      size_t in_n = 0;
+      if (lobs != nullptr) {
+        t0 = obs::TickClock::Now();
+        a0 = util::MemoryTracker::AllocationCount();
+        in_n = left->size();
+      }
+#endif
       switch (s.kind) {
         case plan::PropagationStep::Kind::kJoin: {
           Relation<Ring>& out = scratch->buf[next_buf];
@@ -358,6 +416,22 @@ class IvmEngine {
           break;
         }
       }
+#if FIVM_METRICS_ENABLED
+      if (lobs != nullptr) {
+        engine_obs::StepObs& so = lobs->step[step_i];
+        so.calls.fetch_add(1, std::memory_order_relaxed);
+        so.in_tuples.fetch_add(in_n, std::memory_order_relaxed);
+        so.out_tuples.fetch_add(left->size(), std::memory_order_relaxed);
+        so.time_ns.fetch_add(
+            obs::TickClock::ToNanos(obs::TickClock::Now() - t0),
+            std::memory_order_relaxed);
+        so.allocs.fetch_add(
+            static_cast<uint64_t>(util::MemoryTracker::AllocationCount() -
+                                  a0),
+            std::memory_order_relaxed);
+      }
+      ++step_i;
+#endif
     }
   }
 
@@ -396,6 +470,49 @@ class IvmEngine {
     return out;
   }
 
+  /// EXPLAIN ANALYZE: every compiled propagation route, annotated per step
+  /// with the observed execution profile — calls, input/output tuples,
+  /// cumulative wall time and heap allocations (allocations require the
+  /// memhook-linked binaries; elsewhere they read 0). Steps a propagation
+  /// never reached show calls=0. With FIVM_METRICS=OFF this degrades to the
+  /// plain static plan dump.
+  std::string ExplainAnalyze() const {
+#if FIVM_METRICS_ENABLED
+    std::string out;
+    for (const plan::PropagationPlan& p : plans_.plans()) {
+      const engine_obs::LeafObs* lobs =
+          static_cast<size_t>(p.leaf()) < obs_by_node_.size()
+              ? obs_by_node_[static_cast<size_t>(p.leaf())].get()
+              : nullptr;
+      if (lobs == nullptr) {
+        out += p.DebugString(*tree_);
+        continue;
+      }
+      out += p.DebugString(*tree_, [lobs](size_t i) {
+        const engine_obs::StepObs& so = lobs->step[i];
+        char buf[160];
+        std::snprintf(
+            buf, sizeof buf,
+            "  [calls=%llu in=%llu out=%llu time=%.3fms allocs=%llu]",
+            static_cast<unsigned long long>(
+                so.calls.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(
+                so.in_tuples.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(
+                so.out_tuples.load(std::memory_order_relaxed)),
+            static_cast<double>(so.time_ns.load(std::memory_order_relaxed)) /
+                1e6,
+            static_cast<unsigned long long>(
+                so.allocs.load(std::memory_order_relaxed)));
+        return std::string(buf);
+      });
+    }
+    return out;
+#else
+    return plans_.DebugString();
+#endif
+  }
+
   /// Non-incremental evaluation (F-RE): computes the root view over `db`
   /// using the factorized view-tree plan, materializing nothing. The
   /// throwaway engine skips propagation-plan compilation — re-evaluation
@@ -421,6 +538,16 @@ class IvmEngine {
     }
     if (compile_plans) {
       plans_ = plan::PlanSet::Compile(*tree_, TrivialityOf(lifts_));
+#if FIVM_METRICS_ENABLED
+      obs_by_node_.resize(tree_->nodes().size());
+      for (const plan::PropagationPlan& p : plans_.plans()) {
+        obs_by_node_[static_cast<size_t>(p.leaf())] =
+            std::make_unique<engine_obs::LeafObs>(p.steps().size());
+      }
+      auto& reg = obs::MetricRegistry::Default();
+      applied_deltas_ = reg.GetCounter("engine.applied_deltas");
+      applied_tuples_ = reg.GetCounter("engine.applied_tuples");
+#endif
     }
   }
   const Schema& query_relation_schema(int relation) const {
@@ -590,6 +717,15 @@ class IvmEngine {
   /// its storage across triggers via the PropagateUp sink swap.
   PropagationScratch seq_scratch_;
   Relation<Ring> seq_held_;
+#if FIVM_METRICS_ENABLED
+  /// Per-plan-step execution profiles, indexed by leaf node id (null for
+  /// non-leaf nodes and for plan-less engines). unique_ptr keeps the
+  /// atomic-holding LeafObs at a stable address — PropagateDelta is const
+  /// but records through the (shallow-const) pointer.
+  std::vector<std::unique_ptr<engine_obs::LeafObs>> obs_by_node_;
+  obs::Counter* applied_deltas_ = nullptr;  // engine.applied_deltas
+  obs::Counter* applied_tuples_ = nullptr;  // engine.applied_tuples
+#endif
 };
 
 }  // namespace fivm

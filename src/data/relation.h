@@ -114,6 +114,12 @@ class Relation {
   size_t size() const { return live_; }
   bool empty() const { return live_ == 0; }
 
+  /// Number of distinct keys in the entry pool, including keys whose
+  /// payloads cancelled to zero (size() excludes those). KeyPoolSize() -
+  /// size() is the cancellation count of an accumulator relation — what
+  /// the DeltaBatcher reports as coalesced-away keys.
+  size_t KeyPoolSize() const { return keys_.size(); }
+
   /// Pre-sizes the entry pool and the primary index for `n` keys, so a
   /// bulk of Add() calls proceeds without rehashing or reallocating.
   void Reserve(size_t n) {

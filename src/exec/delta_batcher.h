@@ -10,6 +10,7 @@
 #include "src/data/relation.h"
 #include "src/data/relation_ops.h"
 #include "src/data/tuple.h"
+#include "src/obs/metrics.h"
 #include "src/plan/propagation_plan.h"
 #include "src/rings/ring.h"
 
@@ -54,6 +55,11 @@ class DeltaBatcher {
     for (int r = 0; r < tree_->query().relation_count(); ++r) {
       plan_of_relation_.push_back(&plans->ForRelation(r));
     }
+    auto& reg = obs::MetricRegistry::Default();
+    obs_flushes_ = reg.GetCounter("batcher.flushes");
+    obs_pushed_ = reg.GetCounter("batcher.pushed_updates");
+    obs_emitted_ = reg.GetCounter("batcher.emitted_keys");
+    obs_cancelled_ = reg.GetCounter("batcher.cancelled_keys");
   }
 
   size_t capacity() const { return capacity_; }
@@ -106,14 +112,28 @@ class DeltaBatcher {
   std::vector<Batch> Flush() {
     std::vector<Batch> out;
     out.reserve(touched_.size());
+    // Coalescing accounting, read off the accumulators before they are
+    // surrendered: emitted = live keys, cancelled = keys whose payloads
+    // summed to the ring zero, coalesced = updates folded into an existing
+    // key. pushed/emitted gives the batch's coalesce ratio.
+    size_t emitted = 0;
+    size_t cancelled = 0;
     for (int r : touched_) {
       Relation<Ring>& acc = accums_[r];
+      emitted += acc.size();
+      cancelled += acc.KeyPoolSize() - acc.size();
       if (!acc.empty()) {
         const Schema& target = plan_of_relation_[r]->leaf_schema();
         out.push_back(Batch{r, Reordered(std::move(acc), target)});
       }
       accums_[r] = Relation<Ring>();
       in_batch_[r] = 0;
+    }
+    if (obs_flushes_ != nullptr && !touched_.empty()) {
+      obs_flushes_->Inc();
+      obs_pushed_->Add(pending_updates_);
+      obs_emitted_->Add(emitted);
+      obs_cancelled_->Add(cancelled);
     }
     touched_.clear();
     pending_updates_ = 0;
@@ -143,6 +163,13 @@ class DeltaBatcher {
   std::vector<char> in_batch_;
   std::vector<int> touched_;  // first-touch emission order
   size_t pending_updates_ = 0;
+  /// Registry counters, resolved once at construction (lookups are
+  /// mutexed; recording is lock-free). Process-wide: every batcher feeds
+  /// the same batcher.* series.
+  obs::Counter* obs_flushes_ = nullptr;
+  obs::Counter* obs_pushed_ = nullptr;
+  obs::Counter* obs_emitted_ = nullptr;
+  obs::Counter* obs_cancelled_ = nullptr;
 };
 
 }  // namespace fivm::exec

@@ -65,7 +65,14 @@ class ParallelExecutor {
       : engine_(engine),
         plans_(&engine->plans()),
         pool_(pool),
-        options_(options) {}
+        options_(options) {
+    auto& reg = obs::MetricRegistry::Default();
+    obs_parallel_ = reg.GetCounter("exec.parallel_batches");
+    obs_sequential_ = reg.GetCounter("exec.sequential_batches");
+    obs_partition_ns_ = reg.GetHistogram("exec.partition_ns");
+    obs_merge_ns_ = reg.GetHistogram("exec.merge_ns");
+    obs_imbalance_ = reg.GetHistogram("exec.shard_imbalance_x100");
+  }
 
   size_t ShardCount() const {
     if (options_.shards > 0) return options_.shards;
@@ -82,9 +89,11 @@ class ParallelExecutor {
     const size_t shards = ShardCount();
     if (shards <= 1 || delta.size() < kMinParallelKeys ||
         engine_->HasIndicatorLeaves(relation)) {
+      obs_sequential_->Inc();
       engine_->ApplyDelta(relation, std::move(delta));
       return;
     }
+    obs_parallel_->Inc();
 
     const plan::PropagationPlan& plan = plans_->ForRelation(relation);
     const int leaf = plan.leaf();
@@ -102,6 +111,8 @@ class ParallelExecutor {
     // (linearity), this one keeps each shard's probe working set disjoint.
     // Key and positions are precompiled into the plan.
     const auto& part_pos = plan.partition_positions();
+    const size_t batch_keys = delta.size();
+    const uint64_t part_t0 = obs::TickClock::Now();
     std::vector<Relation<Ring>> shard_delta;
     shard_delta.reserve(shards);
     // Presize each shard for its expected share of the batch (hash
@@ -117,6 +128,16 @@ class ParallelExecutor {
       if (Ring::IsZero(pool.payloads[i])) continue;
       size_t s = TupleView(pool.keys[i], part_pos).Hash() % shards;
       shard_delta[s].Add(std::move(pool.keys[i]), std::move(pool.payloads[i]));
+    }
+
+    obs_partition_ns_->RecordTicks(obs::TickClock::Now() - part_t0);
+    if (obs::Enabled()) {
+      // Shard-size imbalance: largest shard over the perfectly-even share,
+      // in percent (100 = perfectly balanced). The histogram's tail shows
+      // how often hash partitioning leaves one worker with the batch.
+      size_t largest = 0;
+      for (const auto& sd : shard_delta) largest = std::max(largest, sd.size());
+      obs_imbalance_->Record(largest * shards * 100 / std::max<size_t>(1, batch_keys));
     }
 
     // Lazy secondary-index construction is not thread-safe; build every
@@ -147,11 +168,13 @@ class ParallelExecutor {
 
     // Deterministic shard-ordered merge into the shared stores (large
     // staged deltas are absorbed in key-hash order, see AbsorbStoreDelta).
+    const uint64_t merge_t0 = obs::TickClock::Now();
     for (size_t s = 0; s < shards; ++s) {
       for (auto& [node, d] : staged[s]) {
         engine_->AbsorbStoreDelta(node, std::move(d));
       }
     }
+    obs_merge_ns_->RecordTicks(obs::TickClock::Now() - merge_t0);
   }
 
   /// Flushes `batcher` and applies every emitted batch in emission order.
@@ -166,6 +189,13 @@ class ParallelExecutor {
   const plan::PlanSet* plans_;  // the engine's compiled propagation plans
   ThreadPool* pool_;
   Options options_;
+  /// Registry handles, resolved once at construction (process-wide exec.*
+  /// series; recording is lock-free).
+  obs::Counter* obs_parallel_ = nullptr;
+  obs::Counter* obs_sequential_ = nullptr;
+  obs::Histogram* obs_partition_ns_ = nullptr;
+  obs::Histogram* obs_merge_ns_ = nullptr;
+  obs::Histogram* obs_imbalance_ = nullptr;
 };
 
 /// True when the two engines (over the same view tree) hold content-equal

@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "src/core/query.h"
 #include "src/data/relation.h"
 #include "src/data/tuple.h"
+#include "src/obs/metrics.h"
 #include "src/rings/ring.h"
 
 namespace fivm::ivme {
@@ -136,7 +138,16 @@ class TriangleEngine {
                                rel_[(i + 2) % 3].schema[rel_[(i + 2) % 3].px]};
       view_[i] = Relation<Ring>(view_schema_[i]);
     }
+    RegisterGauges();
   }
+
+  /// The registered gauge callbacks capture `this` — the engine is pinned.
+  /// The latest-constructed engine owns the ivme.* gauge names; the
+  /// registration tokens keep an earlier engine's destructor from tearing
+  /// down its replacement's gauges.
+  ~TriangleEngine() { UnregisterGauges(); }
+  TriangleEngine(const TriangleEngine&) = delete;
+  TriangleEngine& operator=(const TriangleEngine&) = delete;
 
   /// Applies a single-tuple update δK_rel(key) with ring payload `m`
   /// (insert = One, delete = Neg(One), arbitrary elements allowed). `key`
@@ -374,6 +385,33 @@ class TriangleEngine {
   // near-empty databases don't rebuild on every update.
   static constexpr size_t kMinMajorSpacing = 8;
 
+  /// Bridges Stats and the partition state into the metric registry as
+  /// pull-style gauges — the ivme counters become registry citizens without
+  /// any hot-path recording (ApplyUpdate keeps its plain int64 increments;
+  /// the gauge lambdas read them at scrape time).
+  void RegisterGauges() {
+    auto& reg = obs::MetricRegistry::Default();
+    auto add = [&](const char* name, std::function<int64_t()> fn) {
+      gauges_.emplace_back(name, reg.RegisterGauge(name, std::move(fn)));
+    };
+    add("ivme.updates", [this] { return stats_.updates; });
+    add("ivme.minor_rebalances", [this] { return stats_.minor_rebalances; });
+    add("ivme.minor_moved_tuples",
+        [this] { return stats_.minor_moved_tuples; });
+    add("ivme.major_rebalances", [this] { return stats_.major_rebalances; });
+    add("ivme.threshold",
+        [this] { return static_cast<int64_t>(theta_); });
+    add("ivme.live_tuples",
+        [this] { return static_cast<int64_t>(live_total_); });
+  }
+
+  void UnregisterGauges() {
+    auto& reg = obs::MetricRegistry::Default();
+    for (const auto& [name, token] : gauges_) {
+      reg.UnregisterGauge(name, token);
+    }
+  }
+
   struct Rel {
     int relation = -1;
     Schema schema;     // (two variables, query layout)
@@ -606,6 +644,8 @@ class TriangleEngine {
   size_t live_total_ = 0;
   size_t rebalance_base_ = 0;
   Stats stats_;
+  /// Registered gauge names + tokens, released in the destructor.
+  std::vector<std::pair<std::string, uint64_t>> gauges_;
 };
 
 }  // namespace fivm::ivme

@@ -109,6 +109,12 @@ PropagationPlan PropagationPlan::Compile(const ViewTree& tree, int leaf,
 }
 
 std::string PropagationPlan::DebugString(const ViewTree& tree) const {
+  return DebugString(tree, nullptr);
+}
+
+std::string PropagationPlan::DebugString(
+    const ViewTree& tree,
+    const std::function<std::string(size_t)>& annotate) const {
   const Catalog& catalog = tree.query().catalog();
   std::string out = "plan for leaf " + tree.node(leaf_).name +
                     SchemaNames(catalog, leaf_schema_) +
@@ -143,6 +149,7 @@ std::string PropagationPlan::DebugString(const ViewTree& tree) const {
         out += "store δ" + tree.node(s.node).name + " (absorb)";
         break;
     }
+    if (annotate) out += annotate(static_cast<size_t>(i - 1));
     out += "\n";
   }
   return out;

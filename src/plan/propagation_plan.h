@@ -3,6 +3,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,14 @@ class PropagationPlan {
   /// view names, schemas, join kinds and probe keys — so a plan can be
   /// diffed against another engine's in bug reports.
   std::string DebugString(const ViewTree& tree) const;
+
+  /// Annotated variant: `annotate(i)` is appended to the line of step `i`
+  /// (0-based, in steps() order). IvmEngine::ExplainAnalyze uses this to
+  /// turn the static route dump into a profile with observed per-step
+  /// time/tuples/allocations.
+  std::string DebugString(
+      const ViewTree& tree,
+      const std::function<std::string(size_t)>& annotate) const;
 
  private:
   int leaf_ = -1;

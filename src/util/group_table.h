@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/util/memory_tracker.h"
 
 #if defined(__SSE2__)
@@ -259,9 +260,15 @@ class GroupTable {
       for (uint32_t m = grp.Match(h2); m != 0; m &= m - 1) {
         size_t i = g * kGroupWidth +
                    static_cast<size_t>(std::countr_zero(m));
-        if (eq(const_cast<const Slot&>(slots_[i]))) return &slots_[i];
+        if (eq(const_cast<const Slot&>(slots_[i]))) {
+          FIVM_OBS_SAMPLE_PROBE(h2, step + 1);
+          return &slots_[i];
+        }
       }
-      if (grp.MatchEmpty() != 0) return nullptr;
+      if (grp.MatchEmpty() != 0) {
+        FIVM_OBS_SAMPLE_PROBE(h2, step + 1);
+        return nullptr;
+      }
       g = (g + ++step) & group_mask_;
     }
   }
@@ -290,6 +297,7 @@ class GroupTable {
         size_t i = g * kGroupWidth +
                    static_cast<size_t>(std::countr_zero(m));
         if (eq(const_cast<const Slot&>(slots_[i]))) {
+          FIVM_OBS_SAMPLE_PROBE(h2, step + 1);
           return {&slots_[i], false};
         }
       }
@@ -304,6 +312,7 @@ class GroupTable {
         if (ctrl_[insert_at] == kCtrlDeleted) --deleted_;
         ctrl_[insert_at] = h2;
         ++size_;
+        FIVM_OBS_SAMPLE_PROBE(h2, step + 1);
         return {&slots_[insert_at], true};
       }
       g = (g + ++step) & group_mask_;

@@ -8,6 +8,7 @@
 
 #include "src/data/relation.h"
 #include "src/data/relation_ops.h"
+#include "src/obs/metrics.h"
 #include "src/rings/ring.h"
 #include "src/util/memory_tracker.h"
 #include "src/util/rng.h"
@@ -124,6 +125,37 @@ TEST(ZeroAllocProbeTest, GroupProbePathIsAllocationFree) {
   int64_t after = util::MemoryTracker::AllocationCount();
   EXPECT_EQ(after - before, 0);
   EXPECT_GT(hits, 0);
+}
+
+// The metrics record path — counter adds, histogram records, scoped
+// timers, and the sampled probe-length cold path — allocates nothing: the
+// src/obs/ cost-model contract that lets PR 7 instrument the engine's hot
+// loops. Registry lookups (mutexed, allocating) belong at construction
+// time and are done before counting starts.
+TEST(ZeroAllocProbeTest, MetricRecordPathIsAllocationFree) {
+#if FIVM_METRICS_ENABLED
+  auto& reg = obs::MetricRegistry::Default();
+  obs::Counter* counter = reg.GetCounter("zero_alloc.counter");
+  obs::Histogram* hist = reg.GetHistogram("zero_alloc.hist");
+  // Warm the per-thread shard assignment, the TSC calibration (first
+  // RecordTicks busy-waits ~2ms against steady_clock) and the sampled
+  // probe-length histogram, so only the steady-state record path is
+  // counted.
+  counter->Add(1);
+  hist->RecordTicks(1000);  // triggers the one-time TSC calibration
+  obs::SampleProbeLength(1);
+
+  int64_t before = util::MemoryTracker::AllocationCount();
+  for (uint64_t i = 0; i < 10000; ++i) {
+    counter->Add(i);
+    hist->Record(i * 37);
+    obs::ScopedTimer t(hist);
+    obs::SampleProbeLength(static_cast<uint32_t>(i & 7) + 1);
+  }
+  int64_t after = util::MemoryTracker::AllocationCount();
+  EXPECT_EQ(after - before, 0);
+  EXPECT_GE(hist->Count(), 20001u);  // Record + timer per iteration + warmup
+#endif
 }
 
 // With matches, allocations are due to output materialization only
