@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -164,7 +165,7 @@ class IvmEngine {
     for (auto& [ind_leaf, ind_delta] : indicator_deltas) {
       if (ind_delta.empty()) continue;
       if (tree_->node(ind_leaf).materialized) {
-        AbsorbInto(stores_[ind_leaf], ind_delta);
+        AbsorbStoreDelta(ind_leaf, ind_delta);
       }
       PropagateUp(ind_leaf, std::move(ind_delta));
     }
@@ -205,7 +206,7 @@ class IvmEngine {
     std::vector<int> path = tree_->PathToRoot(relation);
     int leaf = path[0];
     if (tree_->node(leaf).materialized) {
-      AbsorbProduct(stores_[leaf], factors);
+      AbsorbProductDelta(leaf, factors);
     }
 
     int prev = leaf;
@@ -282,7 +283,7 @@ class IvmEngine {
       }
 
       if (n.materialized) {
-        AbsorbProduct(stores_[path[i]], factors);
+        AbsorbProductDelta(path[i], factors);
       }
       prev = path[i];
     }
@@ -322,12 +323,28 @@ class IvmEngine {
   /// Adds a store-schema delta into the store of view `node` — also the
   /// merge entry point of the parallel executor: staged shard deltas are
   /// absorbed in shard order, which keeps the final store state
-  /// deterministic and equal to sequential application.
+  /// deterministic and equal to sequential application. Every store
+  /// mutation after Initialize funnels through these two overloads, which
+  /// is what makes the store-delta observer below a complete feed for the
+  /// serving layer's differential staging (src/serve/).
   void AbsorbStoreDelta(int node, Relation<Ring>&& delta) {
+    if (store_delta_observer_) store_delta_observer_(node, delta);
     AbsorbInto(stores_[node], std::move(delta));
   }
   void AbsorbStoreDelta(int node, const Relation<Ring>& delta) {
+    if (store_delta_observer_) store_delta_observer_(node, delta);
     AbsorbInto(stores_[node], delta);
+  }
+
+  /// Observer of every store delta the engine absorbs, invoked (on the
+  /// absorbing thread, i.e. the thread applying deltas) with the view node
+  /// and the delta *before* it merges into the store. One observer at a
+  /// time; pass nullptr to detach. Initialize() fills stores directly and
+  /// does not fire it — serving-layer consumers register afterwards (or
+  /// re-freeze, see serve::SnapshotServer::Rebase).
+  using StoreDeltaObserver = std::function<void(int, const Relation<Ring>&)>;
+  void SetStoreDeltaObserver(StoreDeltaObserver observer) {
+    store_delta_observer_ = std::move(observer);
   }
 
   /// Propagates a delta from (just above) leaf `from` toward the root by
@@ -629,22 +646,23 @@ class IvmEngine {
     return acc;
   }
 
-  /// Absorbs the expanded product into `store` without consuming (or deep
-  /// copying) the factors: with two or more factors the first join already
-  /// materializes a fresh accumulator, and a single factor absorbs
-  /// directly.
-  static void AbsorbProduct(Relation<Ring>& store,
-                            const std::vector<Relation<Ring>>& factors) {
+  /// Absorbs the expanded product into `node`'s store without consuming
+  /// (or deep copying) the factors: with two or more factors the first
+  /// join already materializes a fresh accumulator, and a single factor
+  /// absorbs directly. Routed through AbsorbStoreDelta so the factorized
+  /// path feeds the store-delta observer like every other store write.
+  void AbsorbProductDelta(int node,
+                          const std::vector<Relation<Ring>>& factors) {
     assert(!factors.empty());
     if (factors.size() == 1) {
-      AbsorbInto(store, factors[0]);
+      AbsorbStoreDelta(node, factors[0]);
       return;
     }
     Relation<Ring> acc = Join(factors[0], factors[1]);
     for (size_t i = 2; i < factors.size(); ++i) {
       acc = Join(acc, factors[i]);
     }
-    AbsorbInto(store, std::move(acc));
+    AbsorbStoreDelta(node, std::move(acc));
   }
 
   // Computes the node's *store* value (pre-out-marginalization) and fills
@@ -717,6 +735,9 @@ class IvmEngine {
   /// its storage across triggers via the PropagateUp sink swap.
   PropagationScratch seq_scratch_;
   Relation<Ring> seq_held_;
+  /// Serving-layer tee over absorbed store deltas (empty = one untaken
+  /// branch per absorb). Invoked on the absorbing thread only.
+  StoreDeltaObserver store_delta_observer_;
 #if FIVM_METRICS_ENABLED
   /// Per-plan-step execution profiles, indexed by leaf node id (null for
   /// non-leaf nodes and for plan-less engines). unique_ptr keeps the

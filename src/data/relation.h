@@ -67,6 +67,20 @@ class Relation {
         index_(other.index_),
         live_(other.live_) {}
 
+  /// Clone-with-headroom: copies `other`'s *live* contents with the pool
+  /// arrays and primary index sized for other.size() + extra_capacity keys
+  /// up front. This is the generation clone of the versioned read path
+  /// (src/serve/): the next generation absorbs its differential at one
+  /// final index capacity — no mid-merge growth rehash, which would also
+  /// re-home a clustered absorb order — and tombstones are dropped in the
+  /// same pass. Secondary indexes are not copied.
+  Relation(const Relation& other, size_t extra_capacity)
+      : schema_(other.schema_) {
+    Reserve(other.size() + extra_capacity);
+    other.ForEach(
+        [this](const Tuple& k, const Element& p) { AddImpl(k, p); });
+  }
+
   Relation& operator=(const Relation& other) {
     if (this == &other) return *this;
     schema_ = other.schema_;

@@ -88,6 +88,7 @@ class DeltaBatcher {
   /// query relation's schema layout, or the layout declared with
   /// SetInputSchema.
   void Push(int relation, const Tuple& key, Element payload) {
+    if (pending_updates_ == 0) first_push_ticks_ = obs::TickClock::Now();
     Accumulator(relation).Add(key, std::move(payload));
     ++pending_updates_;
   }
@@ -101,10 +102,19 @@ class DeltaBatcher {
   }
 
   void PushInserts(int relation, const std::vector<Tuple>& keys) {
+    if (pending_updates_ == 0 && !keys.empty()) {
+      first_push_ticks_ = obs::TickClock::Now();
+    }
     Relation<Ring>& acc = Accumulator(relation);
     for (const Tuple& k : keys) acc.Add(k, Ring::One());
     pending_updates_ += keys.size();
   }
+
+  /// TickClock timestamp of the first update buffered since the last
+  /// Flush (0 when the window is empty). The serving bench derives
+  /// update-visibility latency from it: publish time minus this stamp is
+  /// how long the window's oldest update waited to become readable.
+  uint64_t first_push_ticks() const { return first_push_ticks_; }
 
   /// Emits the coalesced per-relation deltas (first-touch order), dropping
   /// keys whose payloads cancelled to zero and reordering each delta to the
@@ -137,6 +147,7 @@ class DeltaBatcher {
     }
     touched_.clear();
     pending_updates_ = 0;
+    first_push_ticks_ = 0;
     return out;
   }
 
@@ -163,6 +174,7 @@ class DeltaBatcher {
   std::vector<char> in_batch_;
   std::vector<int> touched_;  // first-touch emission order
   size_t pending_updates_ = 0;
+  uint64_t first_push_ticks_ = 0;  // visibility-latency stamp
   /// Registry counters, resolved once at construction (lookups are
   /// mutexed; recording is lock-free). Process-wide: every batcher feeds
   /// the same batcher.* series.

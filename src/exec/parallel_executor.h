@@ -74,6 +74,15 @@ class ParallelExecutor {
     obs_imbalance_ = reg.GetHistogram("exec.shard_imbalance_x100");
   }
 
+  /// Invoked at the end of every ApplyBatch (parallel and sequential
+  /// fallback alike), after all of the batch's store absorbs merged — the
+  /// publish-per-batch hook of the serving layer: wiring
+  /// serve::SnapshotServer::Publish here makes each applied batch visible
+  /// to new snapshots atomically. Empty batches fire nothing.
+  void SetPostBatchHook(std::function<void()> hook) {
+    post_batch_ = std::move(hook);
+  }
+
   size_t ShardCount() const {
     if (options_.shards > 0) return options_.shards;
     size_t hw = std::thread::hardware_concurrency();
@@ -91,6 +100,7 @@ class ParallelExecutor {
         engine_->HasIndicatorLeaves(relation)) {
       obs_sequential_->Inc();
       engine_->ApplyDelta(relation, std::move(delta));
+      if (post_batch_) post_batch_();
       return;
     }
     obs_parallel_->Inc();
@@ -175,6 +185,7 @@ class ParallelExecutor {
       }
     }
     obs_merge_ns_->RecordTicks(obs::TickClock::Now() - merge_t0);
+    if (post_batch_) post_batch_();
   }
 
   /// Flushes `batcher` and applies every emitted batch in emission order.
@@ -189,6 +200,7 @@ class ParallelExecutor {
   const plan::PlanSet* plans_;  // the engine's compiled propagation plans
   ThreadPool* pool_;
   Options options_;
+  std::function<void()> post_batch_;  // serving-layer publish hook
   /// Registry handles, resolved once at construction (process-wide exec.*
   /// series; recording is lock-free).
   obs::Counter* obs_parallel_ = nullptr;

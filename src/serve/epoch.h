@@ -1,0 +1,122 @@
+#ifndef FIVM_SERVE_EPOCH_H_
+#define FIVM_SERVE_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace fivm::serve {
+
+/// Epoch-based reclamation registry for snapshot readers: a fixed array of
+/// cache-line-separated reader slots, each holding the epoch its reader
+/// pinned (or kInactive). Readers pin with a store/validate loop; the
+/// writer advances the epoch after every version swap and frees a retired
+/// version only once every active slot pins a *later* epoch.
+///
+/// Memory-order contract (all epoch/pin operations are seq_cst; the proof
+/// needs a single total order across the three atomics involved):
+///
+///  - Reader pin:   slot.store(e); if (epoch.load() == e) done else retry.
+///  - Writer swap:  current.store(next); retire(old, re = epoch.load());
+///                  epoch.fetch_add(1).
+///  - Writer free:  scan all slots; free retired(re) iff min pin > re.
+///
+/// Safety: suppose a reader pinned e <= re but the writer's scan missed it
+/// and freed the version the reader still dereferences. The scan runs after
+/// the epoch advance (re -> re+1); if it missed the pin, the pin store is
+/// ordered after the scan's slot load, so the reader's validating epoch
+/// load — ordered after its own pin store — observes >= re+1 and the pin
+/// retries with e >= re+1: contradiction. Conversely a validated pin
+/// e >= re+1 is ordered after the advance, hence after the version swap,
+/// so its subsequent load of the current version sees `next` (or newer),
+/// never the retired version. Unpin is a release store and the scan's slot
+/// loads are acquires, so the reader's last access to the version
+/// happens-before the writer's free (what TSan checks on the fuzz test).
+///
+/// Slots are claimed per live Snapshot (CAS over the array — lock-free,
+/// typically one probe); the *lookup* path never touches the registry at
+/// all, which is what keeps reads wait-free.
+class EpochRegistry {
+ public:
+  static constexpr uint32_t kMaxReaders = 64;
+  static constexpr uint64_t kInactive = ~uint64_t{0};
+
+  uint64_t CurrentEpoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Writer-side: starts a new epoch after a version swap.
+  void AdvanceEpoch() { epoch_.fetch_add(1, std::memory_order_seq_cst); }
+
+  /// Claims a free reader slot. Spins (with yield) when all kMaxReaders
+  /// slots hold live snapshots — callers cap reader concurrency below that.
+  uint32_t AcquireSlot() {
+    for (;;) {
+      for (uint32_t i = 0; i < kMaxReaders; ++i) {
+        uint32_t expect = 0;
+        if (slots_[i].claimed.load(std::memory_order_relaxed) == 0 &&
+            slots_[i].claimed.compare_exchange_strong(
+                expect, 1, std::memory_order_acquire)) {
+          return i;
+        }
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  void ReleaseSlot(uint32_t slot) {
+    slots_[slot].claimed.store(0, std::memory_order_release);
+  }
+
+  /// Pins the current epoch into `slot` (validated — see the class
+  /// comment) and returns it. The loop re-runs only when a writer advanced
+  /// the epoch mid-pin, so it terminates as soon as publishes pause and is
+  /// bounded in practice by the publish rate.
+  uint64_t Pin(uint32_t slot) {
+    Slot& s = slots_[slot];
+    uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    for (;;) {
+      s.pinned.store(e, std::memory_order_seq_cst);
+      uint64_t now = epoch_.load(std::memory_order_seq_cst);
+      if (now == e) return e;
+      e = now;
+    }
+  }
+
+  void Unpin(uint32_t slot) {
+    slots_[slot].pinned.store(kInactive, std::memory_order_release);
+  }
+
+  /// Smallest epoch any active slot pins, or kInactive when none is
+  /// pinned. A retired version with retire-epoch re is reclaimable iff
+  /// re < MinPinned().
+  uint64_t MinPinned() const {
+    uint64_t min = kInactive;
+    for (const Slot& s : slots_) {
+      uint64_t p = s.pinned.load(std::memory_order_acquire);
+      if (p < min) min = p;
+    }
+    return min;
+  }
+
+  /// Number of currently pinned slots (the serve.pinned_epochs gauge).
+  int64_t PinnedCount() const {
+    int64_t n = 0;
+    for (const Slot& s : slots_) {
+      if (s.pinned.load(std::memory_order_acquire) != kInactive) ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> pinned{kInactive};
+    std::atomic<uint32_t> claimed{0};
+  };
+  std::atomic<uint64_t> epoch_{1};
+  Slot slots_[kMaxReaders];
+};
+
+}  // namespace fivm::serve
+
+#endif  // FIVM_SERVE_EPOCH_H_

@@ -1,0 +1,623 @@
+#ifndef FIVM_SERVE_SNAPSHOT_SERVER_H_
+#define FIVM_SERVE_SNAPSHOT_SERVER_H_
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/ivm_engine.h"
+#include "src/data/relation.h"
+#include "src/data/relation_ops.h"
+#include "src/obs/metrics.h"
+#include "src/serve/epoch.h"
+
+namespace fivm::serve {
+
+/// When a store's differential is folded into its next base generation.
+/// A merge fires when EITHER bound is hit; MergeNow() ignores both.
+struct MergePolicy {
+  /// Frozen segments a store accumulates before a merge folds them.
+  size_t max_segments = 8;
+  /// Total differential keys (summed over segments) that trigger a merge.
+  size_t max_diff_keys = 4096;
+  /// Absorb the coalesced differential into the cloned base in destination
+  /// home-cell order (relation_ops.h AbsorbIntoClustered) instead of
+  /// arrival order. The merge path is the friendliest shape the ordering
+  /// can get — off the serving hot path, against a presized clone, no
+  /// growth rehash — and it still loses: bench_serve's fold A/B measures
+  /// ordered at 0.87–0.97x arrival (medians of 15 interleaved reps, 224k-
+  /// and 1.1M-key folds), the permuted source gather again costing about
+  /// what the destination locality saves. Default off; the knob remains
+  /// for re-measurement on other cache hierarchies.
+  bool clustered_absorb = false;
+};
+
+/// The concurrent read path over an IvmEngine's view stores (the serving
+/// half of F-IVM's promise: views are maintained *to be queried*).
+///
+/// Design: every served store is published as an immutable *generation*
+/// (a frozen Relation behind shared_ptr<const>) plus an ordered list of
+/// frozen *differential segments* — one per publish that touched the store.
+/// One VersionSet bundles all served stores at a publish sequence number;
+/// a single atomic pointer swap per publish makes snapshots consistent
+/// across stores. The writer-side flow:
+///
+///  - the engine's store-delta observer tees every absorbed store delta
+///    into a small mutable staging relation per served store (the only
+///    mutable differential state, touched exclusively by the writer);
+///  - Publish() — wired per batch via ParallelExecutor::SetPostBatchHook —
+///    freezes dirty staging relations into segments by move, swaps in a new
+///    VersionSet, retires the old one, and advances the reclamation epoch;
+///  - MergeStep()/MergeNow() (explicit, or StartBackgroundMerge's thread)
+///    folds base ⊎ segments into the next generation off-lock: segments
+///    coalesce into one differential, the base clones with headroom
+///    (Relation's extra-capacity constructor — one final index capacity, no
+///    mid-merge rehash), and the differential bulk-absorbs in destination
+///    home-cell order (MergePolicy::clustered_absorb).
+///
+/// Readers call Acquire() for an RAII Snapshot: pin an epoch slot
+/// (lock-free), load the current VersionSet, and read. Point lookups and
+/// scans see (base ⊎ segments) — a ring-sum over at most 1 + segment-count
+/// immutable probes — and are wait-free: no lock, no refcount, no
+/// allocation on the lookup path (tests/zero_alloc_probe_test.cc proves
+/// the scalar-ring case). Retired VersionSets are freed only after every
+/// snapshot pinned at or before their retire epoch drains
+/// (serve/epoch.h has the full memory-order argument).
+///
+/// Threading contract: deltas + Publish() on one writer thread; merges on
+/// one merger thread at a time (serialized internally, so the background
+/// merger and explicit MergeNow calls may overlap); any number of reader
+/// threads up to EpochRegistry::kMaxReaders live snapshots. The server
+/// registers itself as the engine's store-delta observer for its lifetime
+/// and must outlive every Snapshot it hands out. Engine::Initialize
+/// bypasses the observer — construct the server afterwards, or Rebase().
+template <typename Ring>
+class SnapshotServer {
+ public:
+  using Element = typename Ring::Element;
+  using Rel = Relation<Ring>;
+  using RelPtr = std::shared_ptr<const Rel>;
+
+  /// One served store at one publish: an immutable base generation plus
+  /// the frozen differential segments published after it (oldest first).
+  /// Segments hold ring *deltas*: a reader's value for a key is the ring
+  /// sum of the base hit and every segment hit.
+  struct StoreVersion {
+    RelPtr base;
+    std::vector<RelPtr> segments;
+    uint64_t base_gen = 0;
+  };
+
+  /// All served stores at one publish sequence. Immutable once installed;
+  /// the atomic current-set pointer is the only mutable cell readers touch.
+  struct VersionSet {
+    uint64_t seq = 0;
+    std::vector<StoreVersion> stores;
+  };
+
+  /// `engine` must outlive the server. `nodes` are the view-tree nodes to
+  /// serve (each must be materialized); the single-argument overload serves
+  /// the root. Served-store contents are frozen from the engine's current
+  /// stores at construction.
+  SnapshotServer(IvmEngine<Ring>* engine, std::vector<int> nodes,
+                 MergePolicy policy = {})
+      : engine_(engine), nodes_(std::move(nodes)), policy_(policy) {
+    slot_of_node_.assign(engine_->tree().nodes().size(), -1);
+    staging_.reserve(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      assert(engine_->tree().node(nodes_[i]).materialized &&
+             "can only serve materialized stores");
+      slot_of_node_[nodes_[i]] = static_cast<int>(i);
+      staging_.emplace_back(engine_->store(nodes_[i]).schema());
+      dirty_.push_back(0);
+    }
+    auto& reg = obs::MetricRegistry::Default();
+    obs_reads_ = reg.GetCounter("serve.reads");
+    obs_base_hits_ = reg.GetCounter("serve.base_hits");
+    obs_diff_hits_ = reg.GetCounter("serve.diff_hits");
+    obs_publishes_ = reg.GetCounter("serve.publishes");
+    obs_merges_ = reg.GetCounter("serve.merges");
+    obs_reclaimed_gens_ = reg.GetCounter("serve.reclaimed_generations");
+    obs_merge_ns_ = reg.GetHistogram("serve.merge_ns");
+    pinned_gauge_token_ = reg.RegisterGauge(
+        "serve.pinned_epochs", [this] { return epochs_.PinnedCount(); });
+    segments_gauge_token_ = reg.RegisterGauge("serve.segments", [this] {
+      return static_cast<int64_t>(
+          segment_count_.load(std::memory_order_relaxed));
+    });
+
+    auto* init = new VersionSet();
+    init->stores.resize(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      init->stores[i].base = MakeGeneration(Rel(engine_->store(nodes_[i])));
+    }
+    current_.store(init, std::memory_order_seq_cst);
+    engine_->SetStoreDeltaObserver(
+        [this](int node, const Rel& delta) { OnStoreDelta(node, delta); });
+  }
+
+  SnapshotServer(IvmEngine<Ring>* engine, MergePolicy policy = {})
+      : SnapshotServer(engine, std::vector<int>{engine->tree().root()},
+                       policy) {}
+
+  ~SnapshotServer() {
+    StopBackgroundMerge();
+    engine_->SetStoreDeltaObserver(nullptr);
+    assert(epochs_.PinnedCount() == 0 &&
+           "snapshots must not outlive their server");
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (auto& [epoch, set] : retired_) delete set;
+      retired_.clear();
+      delete current_.load(std::memory_order_relaxed);
+    }
+    auto& reg = obs::MetricRegistry::Default();
+    reg.UnregisterGauge("serve.pinned_epochs", pinned_gauge_token_);
+    reg.UnregisterGauge("serve.segments", segments_gauge_token_);
+  }
+
+  SnapshotServer(const SnapshotServer&) = delete;
+  SnapshotServer& operator=(const SnapshotServer&) = delete;
+
+  /// RAII read handle: pins an epoch at construction, releases it at
+  /// destruction. All reads dereference the immutable VersionSet captured
+  /// at acquisition — nothing a concurrent writer publishes changes what
+  /// this snapshot sees. Move-only; must not outlive the server.
+  class Snapshot {
+   public:
+    Snapshot(Snapshot&& o) noexcept
+        : server_(o.server_), set_(o.set_), slot_(o.slot_) {
+      o.server_ = nullptr;
+    }
+    Snapshot& operator=(Snapshot&& o) noexcept {
+      if (this != &o) {
+        Release();
+        server_ = o.server_;
+        set_ = o.set_;
+        slot_ = o.slot_;
+        o.server_ = nullptr;
+      }
+      return *this;
+    }
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+    ~Snapshot() { Release(); }
+
+    /// Publish sequence this snapshot observes: the store state after
+    /// exactly the first seq() published batches.
+    uint64_t seq() const { return set_->seq; }
+
+    size_t store_count() const { return set_->stores.size(); }
+    uint64_t base_gen(size_t store = 0) const {
+      return set_->stores[store].base_gen;
+    }
+    size_t segment_count(size_t store = 0) const {
+      return set_->stores[store].segments.size();
+    }
+    const Schema& schema(size_t store = 0) const {
+      return set_->stores[store].base->schema();
+    }
+
+    /// Wait-free point lookup against (base ⊎ differential): writes the
+    /// ring sum of the base hit and every segment hit into `*out` and
+    /// returns true iff the key is live (non-zero sum). `key` may be a
+    /// Tuple or TupleView. No lock, no refcount, no allocation for
+    /// scalar-payload rings (heavier rings may grow `*out` once; reuse it
+    /// across calls for an allocation-free steady state).
+    template <typename K>
+    bool Lookup(const K& key, Element* out, size_t store = 0) const {
+      const StoreVersion& sv = set_->stores[store];
+      bool have = false;
+      bool diff_hit = false;
+      if (const Element* b = sv.base->Find(key)) {
+        *out = *b;
+        have = true;
+      }
+      for (const RelPtr& seg : sv.segments) {
+        const Element* d = seg->Find(key);
+        if (d == nullptr) continue;
+        diff_hit = true;
+        if (have) {
+          Ring::AddInPlace(*out, *d);
+        } else {
+          *out = *d;
+          have = true;
+        }
+      }
+      server_->obs_reads_->Inc();
+      if (diff_hit) {
+        server_->obs_diff_hits_->Inc();
+      } else if (have) {
+        server_->obs_base_hits_->Inc();
+      }
+      return have && !Ring::IsZero(*out);
+    }
+
+    template <typename K>
+    bool Contains(const K& key, size_t store = 0) const {
+      Element scratch;
+      return Lookup(key, &scratch, store);
+    }
+
+    /// Full scan of (base ⊎ differential): `fn(const Tuple&, const
+    /// Element&)` once per live key with its summed payload. Keys claimed
+    /// by any segment are emitted in the segment pass (combined across
+    /// segments and base); untouched base keys pass through by reference.
+    /// Cost: one probe into each other layer per differential-touched key.
+    template <typename Fn>
+    void ForEach(Fn&& fn, size_t store = 0) const {
+      const StoreVersion& sv = set_->stores[store];
+      const auto& segs = sv.segments;
+      if (segs.empty()) {
+        sv.base->ForEach(fn);
+        return;
+      }
+      sv.base->ForEach([&](const Tuple& k, const Element& p) {
+        for (const RelPtr& s : segs) {
+          if (s->Contains(k)) return;
+        }
+        fn(k, p);
+      });
+      Element acc;
+      for (size_t si = 0; si < segs.size(); ++si) {
+        segs[si]->ForEach([&](const Tuple& k, const Element& p) {
+          // A key is emitted at its first (oldest) live segment occurrence.
+          for (size_t sj = 0; sj < si; ++sj) {
+            if (segs[sj]->Contains(k)) return;
+          }
+          acc = p;
+          for (size_t sj = si + 1; sj < segs.size(); ++sj) {
+            if (const Element* d = segs[sj]->Find(k)) {
+              Ring::AddInPlace(acc, *d);
+            }
+          }
+          if (const Element* b = sv.base->Find(k)) {
+            Ring::AddInPlace(acc, *b);
+          }
+          if (!Ring::IsZero(acc)) fn(k, acc);
+        });
+      }
+    }
+
+    /// Live keys in the snapshot (scan-priced when segments are present).
+    size_t Size(size_t store = 0) const {
+      const StoreVersion& sv = set_->stores[store];
+      if (sv.segments.empty()) return sv.base->size();
+      size_t n = 0;
+      ForEach([&n](const Tuple&, const Element&) { ++n; }, store);
+      return n;
+    }
+
+    /// Materializes the snapshot's view of `store` as a plain Relation
+    /// (test/verification helper; not a read-path operation).
+    Rel Materialize(size_t store = 0) const {
+      Rel out(schema(store));
+      ForEach([&out](const Tuple& k, const Element& p) { out.Add(k, p); },
+              store);
+      return out;
+    }
+
+   private:
+    friend class SnapshotServer;
+    explicit Snapshot(const SnapshotServer* server) : server_(server) {
+      slot_ = server_->epochs_.AcquireSlot();
+      server_->epochs_.Pin(slot_);
+      set_ = server_->current_.load(std::memory_order_seq_cst);
+    }
+    void Release() {
+      if (server_ == nullptr) return;
+      server_->epochs_.Unpin(slot_);
+      server_->epochs_.ReleaseSlot(slot_);
+      server_ = nullptr;
+    }
+
+    const SnapshotServer* server_;
+    const VersionSet* set_;
+    uint32_t slot_;
+  };
+
+  /// Pins the current version for reading. Lock-free (one slot CAS + the
+  /// pin/validate loop); safe from any thread, concurrent with writes and
+  /// merges.
+  Snapshot Acquire() const { return Snapshot(this); }
+
+  /// Freezes every dirty staging relation into a published segment and
+  /// swaps in the next VersionSet; returns its sequence number (unchanged
+  /// when nothing was staged). Writer-thread only — wire it per batch via
+  /// ParallelExecutor::SetPostBatchHook, or call explicitly after
+  /// ApplyDelta.
+  uint64_t Publish() {
+    bool any = false;
+    for (char d : dirty_) any |= (d != 0);
+    if (!any) {
+      // Nothing staged: report the current sequence. The lock (not a pin)
+      // keeps a concurrent background merge from retiring-and-reclaiming
+      // the set between the load and the deref.
+      std::lock_guard<std::mutex> lk(mu_);
+      return current_.load(std::memory_order_relaxed)->seq;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    const VersionSet* old = current_.load(std::memory_order_relaxed);
+    auto* next = new VersionSet(*old);
+    next->seq = old->seq + 1;
+    for (size_t i = 0; i < staging_.size(); ++i) {
+      if (!dirty_[i]) continue;
+      dirty_[i] = 0;
+      Schema schema = staging_[i].schema();
+      if (staging_[i].empty()) {
+        // Every staged key cancelled; drop the tombstones.
+        staging_[i] = Rel(std::move(schema));
+        continue;
+      }
+      next->stores[i].segments.push_back(
+          std::make_shared<const Rel>(std::move(staging_[i])));
+      staging_[i] = Rel(std::move(schema));
+    }
+    stats_publishes_.fetch_add(1, std::memory_order_relaxed);
+    obs_publishes_->Inc();
+    InstallLocked(next);
+    return next->seq;
+  }
+
+  /// One merge pass under the current MergePolicy; returns how many stores
+  /// folded their differential into a new base generation. The fold runs
+  /// off the writer lock against a pinned snapshot; only the final install
+  /// takes it. Merges are serialized against each other internally.
+  size_t MergeStep() { return MergeImpl(/*force=*/false); }
+
+  /// Folds every non-empty differential regardless of policy bounds.
+  size_t MergeNow() { return MergeImpl(/*force=*/true); }
+
+  /// Frees retired VersionSets whose last possible reader has drained.
+  /// Publish and merge reclaim opportunistically; tests and the background
+  /// merger call this to reclaim without publishing.
+  void Reclaim() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ReclaimLocked();
+  }
+
+  /// Runs MergeStep (and reclamation) every `interval` on a background
+  /// thread until StopBackgroundMerge or destruction.
+  void StartBackgroundMerge(
+      std::chrono::milliseconds interval = std::chrono::milliseconds(1)) {
+    if (merger_.joinable()) return;
+    merger_stop_.store(false, std::memory_order_relaxed);
+    merger_ = std::thread([this, interval] {
+      while (!merger_stop_.load(std::memory_order_acquire)) {
+        if (MergeStep() == 0) Reclaim();
+        std::unique_lock<std::mutex> lk(merger_mu_);
+        merger_cv_.wait_for(lk, interval, [this] {
+          return merger_stop_.load(std::memory_order_acquire);
+        });
+      }
+    });
+  }
+
+  void StopBackgroundMerge() {
+    if (!merger_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lk(merger_mu_);
+      merger_stop_.store(true, std::memory_order_release);
+    }
+    merger_cv_.notify_all();
+    merger_.join();
+  }
+
+  /// Re-freezes every served base from the engine's current stores,
+  /// dropping all segments and staged state (IvmEngine::Initialize fills
+  /// stores without firing the delta observer — call this after it).
+  /// Writer-thread only.
+  void Rebase() {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto* next = new VersionSet();
+    next->seq = current_.load(std::memory_order_relaxed)->seq + 1;
+    next->stores.resize(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      next->stores[i].base = MakeGeneration(Rel(engine_->store(nodes_[i])));
+      staging_[i] = Rel(engine_->store(nodes_[i]).schema());
+      dirty_[i] = 0;
+    }
+    InstallLocked(next);
+  }
+
+  const MergePolicy& policy() const { return policy_; }
+  void set_policy(const MergePolicy& p) { policy_ = p; }
+
+  /// Server-local statistics, independent of FIVM_METRICS (the obs
+  /// counters mirror these into the process-wide registry).
+  uint64_t PublishCount() const {
+    return stats_publishes_.load(std::memory_order_relaxed);
+  }
+  uint64_t MergeCount() const {
+    return stats_merges_.load(std::memory_order_relaxed);
+  }
+  uint64_t MergedKeys() const {
+    return stats_merged_keys_.load(std::memory_order_relaxed);
+  }
+  uint64_t ReclaimedVersions() const {
+    return stats_reclaimed_versions_.load(std::memory_order_relaxed);
+  }
+  /// Base generations whose memory was actually freed (counted by the
+  /// generation deleter — a merge retires a base, but it is reclaimed only
+  /// when the last VersionSet and snapshot referencing it drain).
+  uint64_t ReclaimedGenerations() const {
+    return reclaimed_generations_->load(std::memory_order_relaxed);
+  }
+  size_t RetiredCount() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return retired_.size();
+  }
+  size_t SegmentCount() const {
+    return segment_count_.load(std::memory_order_relaxed);
+  }
+  int64_t PinnedCount() const { return epochs_.PinnedCount(); }
+
+ private:
+  /// Wraps a frozen generation so its eventual free is observable: the
+  /// deleter owns the counters it touches (shared_ptr + registry-lifetime
+  /// pointer), so it stays valid wherever the last reference dies.
+  RelPtr MakeGeneration(Rel&& rel) {
+    auto counter = reclaimed_generations_;
+    obs::Counter* obs_counter = obs_reclaimed_gens_;
+    return RelPtr(new Rel(std::move(rel)),
+                  [counter, obs_counter](const Rel* p) {
+                    counter->fetch_add(1, std::memory_order_relaxed);
+                    obs_counter->Inc();
+                    delete p;
+                  });
+  }
+
+  /// Engine store-delta observer (writer thread): tees the delta into the
+  /// served store's staging relation. Staging absorbs by ring addition, so
+  /// several deltas to one store within a batch coalesce before freezing.
+  void OnStoreDelta(int node, const Rel& delta) {
+    int slot = slot_of_node_[node];
+    if (slot < 0) return;
+    AbsorbInto(staging_[static_cast<size_t>(slot)], delta);
+    dirty_[static_cast<size_t>(slot)] = 1;
+  }
+
+  /// Swaps in `next`, retires the displaced set at the current epoch,
+  /// advances the epoch, and reclaims what already drained. Caller holds
+  /// mu_.
+  void InstallLocked(const VersionSet* next) {
+    const VersionSet* old = current_.load(std::memory_order_relaxed);
+    current_.store(next, std::memory_order_seq_cst);
+    uint64_t retire_epoch = epochs_.CurrentEpoch();
+    retired_.emplace_back(retire_epoch, old);
+    epochs_.AdvanceEpoch();
+    size_t segs = 0;
+    for (const StoreVersion& sv : next->stores) segs += sv.segments.size();
+    segment_count_.store(segs, std::memory_order_relaxed);
+    ReclaimLocked();
+  }
+
+  void ReclaimLocked() {
+    uint64_t min_pinned = epochs_.MinPinned();
+    size_t kept = 0;
+    for (auto& [epoch, set] : retired_) {
+      if (epoch < min_pinned) {
+        delete set;
+        stats_reclaimed_versions_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        retired_[kept++] = {epoch, set};
+      }
+    }
+    retired_.resize(kept);
+  }
+
+  size_t MergeImpl(bool force) {
+    // One merger at a time: segment-list prefixes below are only stable
+    // when no other merge can install between the fold and the install.
+    std::lock_guard<std::mutex> merge_lk(merge_mu_);
+    Snapshot snap = Acquire();  // pins the fold's working set
+    size_t merged = 0;
+    std::vector<std::pair<size_t, RelPtr>> built;   // store slot -> new base
+    std::vector<size_t> folded_segments;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const StoreVersion& sv = snap.set_->stores[i];
+      if (sv.segments.empty()) continue;
+      size_t diff_keys = 0;
+      for (const RelPtr& s : sv.segments) diff_keys += s->size();
+      if (!force && sv.segments.size() < policy_.max_segments &&
+          diff_keys < policy_.max_diff_keys) {
+        continue;
+      }
+      obs::ScopedTimer timer(obs_merge_ns_);
+      // Coalesce the frozen segments into one differential (ring addition
+      // dedups keys across segments), then clone the base with headroom:
+      // the clone is built at the final index capacity, so the bulk absorb
+      // never growth-rehashes — which would also re-home the clustered
+      // order below.
+      Rel diff(sv.base->schema());
+      diff.Reserve(diff_keys);
+      for (const RelPtr& s : sv.segments) AbsorbInto(diff, *s);
+      stats_merged_keys_.fetch_add(diff.size(), std::memory_order_relaxed);
+      Rel next_base(*sv.base, diff.size());
+      if (policy_.clustered_absorb) {
+        AbsorbIntoClustered(next_base, std::move(diff));
+      } else {
+        AbsorbInto(next_base, std::move(diff));
+      }
+      built.emplace_back(i, MakeGeneration(std::move(next_base)));
+      folded_segments.push_back(sv.segments.size());
+      ++merged;
+    }
+    if (built.empty()) return 0;
+    std::lock_guard<std::mutex> lk(mu_);
+    const VersionSet* latest = current_.load(std::memory_order_relaxed);
+    auto* next = new VersionSet(*latest);
+    for (size_t b = 0; b < built.size(); ++b) {
+      StoreVersion& sv = next->stores[built[b].first];
+      // The writer only appends segments and merges are serialized, so
+      // the latest set's first folded_segments[b] segments are exactly the
+      // ones folded above; the remainder published after the fold started
+      // and stays differential.
+      assert(sv.segments.size() >= folded_segments[b]);
+      sv.segments.erase(
+          sv.segments.begin(),
+          sv.segments.begin() +
+              static_cast<std::ptrdiff_t>(folded_segments[b]));
+      sv.base = std::move(built[b].second);
+      ++sv.base_gen;
+    }
+    InstallLocked(next);
+    stats_merges_.fetch_add(merged, std::memory_order_relaxed);
+    obs_merges_->Add(merged);
+    return merged;
+  }
+
+  IvmEngine<Ring>* engine_;
+  std::vector<int> nodes_;           // served view-tree nodes
+  std::vector<int> slot_of_node_;    // tree node -> served slot, or -1
+  MergePolicy policy_;
+
+  /// Writer-thread-only differential staging (one per served store).
+  std::vector<Rel> staging_;
+  std::vector<char> dirty_;
+
+  /// The published version chain. current_ is the readers' single entry
+  /// point; mu_ guards installs and the retired list (writers/mergers
+  /// only — never taken on a read path).
+  std::atomic<const VersionSet*> current_{nullptr};
+  mutable std::mutex mu_;
+  std::vector<std::pair<uint64_t, const VersionSet*>> retired_;
+  mutable EpochRegistry epochs_;
+  std::mutex merge_mu_;  // serializes MergeImpl executions
+
+  std::thread merger_;
+  std::mutex merger_mu_;
+  std::condition_variable merger_cv_;
+  std::atomic<bool> merger_stop_{false};
+
+  /// Server-local stats (live in every build config; tests read these).
+  std::atomic<uint64_t> stats_publishes_{0};
+  std::atomic<uint64_t> stats_merges_{0};
+  std::atomic<uint64_t> stats_merged_keys_{0};
+  std::atomic<uint64_t> stats_reclaimed_versions_{0};
+  std::shared_ptr<std::atomic<uint64_t>> reclaimed_generations_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
+  std::atomic<size_t> segment_count_{0};
+
+  /// Registry handles (process lifetime; stubs when FIVM_METRICS=OFF).
+  obs::Counter* obs_reads_ = nullptr;
+  obs::Counter* obs_base_hits_ = nullptr;
+  obs::Counter* obs_diff_hits_ = nullptr;
+  obs::Counter* obs_publishes_ = nullptr;
+  obs::Counter* obs_merges_ = nullptr;
+  obs::Counter* obs_reclaimed_gens_ = nullptr;
+  obs::Histogram* obs_merge_ns_ = nullptr;
+  uint64_t pinned_gauge_token_ = 0;
+  uint64_t segments_gauge_token_ = 0;
+};
+
+}  // namespace fivm::serve
+
+#endif  // FIVM_SERVE_SNAPSHOT_SERVER_H_

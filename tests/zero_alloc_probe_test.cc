@@ -6,9 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/ivm_engine.h"
+#include "src/core/query.h"
+#include "src/core/variable_order.h"
+#include "src/core/view_tree.h"
 #include "src/data/relation.h"
 #include "src/data/relation_ops.h"
 #include "src/obs/metrics.h"
+#include "src/serve/snapshot_server.h"
 #include "src/rings/ring.h"
 #include "src/util/memory_tracker.h"
 #include "src/util/rng.h"
@@ -156,6 +161,72 @@ TEST(ZeroAllocProbeTest, MetricRecordPathIsAllocationFree) {
   EXPECT_EQ(after - before, 0);
   EXPECT_GE(hist->Count(), 20001u);  // Record + timer per iteration + warmup
 #endif
+}
+
+// The snapshot-serving read path — epoch pin, version load, point lookups
+// against (base ⊎ differential segments), unpin — allocates nothing and
+// takes no lock, for hits and misses alike: the wait-free acceptance
+// property of src/serve/. Exercised with live segments so the differential
+// probe loop itself is covered, not just the merged-base fast path.
+TEST(ZeroAllocProbeTest, SnapshotReadPathIsAllocationFree) {
+  Catalog catalog;
+  Query query(&catalog);
+  VarId A = catalog.Intern("A"), B = catalog.Intern("B"),
+        C = catalog.Intern("C");
+  query.AddRelation("R", Schema{A, B});
+  query.AddRelation("S", Schema{B, C});
+  query.SetFreeVars(Schema{A});
+  VariableOrder vo = VariableOrder::Auto(query);
+  ViewTree tree(&query, &vo);
+  tree.MaterializeAll();
+  IvmEngine<I64Ring> engine(&tree, {});
+  Database<I64Ring> db = MakeDatabase<I64Ring>(query);
+  engine.Initialize(db);
+
+  util::Rng rng(96);
+  auto apply = [&](int rel, size_t n, int64_t dom_x, int64_t dom_y) {
+    Relation<I64Ring> delta(query.relation(rel).schema);
+    for (size_t i = 0; i < n; ++i) {
+      delta.Add(Tuple::Ints({rng.UniformInt(0, dom_x - 1),
+                             rng.UniformInt(0, dom_y - 1)}),
+                1);
+    }
+    engine.ApplyDelta(rel, std::move(delta));
+  };
+  apply(1, 512, 64, 64);
+  apply(0, 8192, 2048, 64);
+  serve::SnapshotServer<I64Ring> server(&engine);
+  apply(0, 1024, 2048, 64);  // segment 1
+  server.Publish();
+  apply(0, 1024, 2048, 64);  // segment 2
+  server.Publish();
+
+  // Probe keys (hits and misses) built before counting starts.
+  std::vector<Tuple> keys;
+  keys.reserve(1024);
+  for (int i = 0; i < 1024; ++i) {
+    keys.push_back(Tuple::Ints({rng.UniformInt(0, 4095)}));
+  }
+
+  int64_t hits = 0;
+  int64_t sum = 0;
+  int64_t before = util::MemoryTracker::AllocationCount();
+  for (int round = 0; round < 8; ++round) {
+    auto snap = server.Acquire();
+    int64_t out = 0;
+    for (const Tuple& k : keys) {
+      if (snap.Lookup(k, &out)) {
+        ++hits;
+        sum += out;
+      }
+    }
+  }
+  int64_t after = util::MemoryTracker::AllocationCount();
+  EXPECT_EQ(after - before, 0);
+  EXPECT_GT(hits, 0);
+  EXPECT_GT(sum, 0);
+  auto check = server.Acquire();
+  EXPECT_EQ(check.segment_count(), 2u);  // the differential loop really ran
 }
 
 // With matches, allocations are due to output materialization only
