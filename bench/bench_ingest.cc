@@ -1,0 +1,312 @@
+// Sustained-load ingest benchmark over src/ingest/: a paced open-loop
+// producer offers a randomized insert/delete stream to a threaded
+// IngestService (admission queue → DeltaBatcher → ParallelExecutor →
+// SnapshotServer::Publish) at a fraction of the pipeline's measured
+// sustainable rate. A calibration pass (Block admission, unpaced) measures
+// that rate — derated by FIVM_BENCH_DERATE_PCT (default 85%) because the
+// paced arms pay per-round timer wakeups the closed-loop calibration does
+// not, so the undiluted figure straddles true open-loop saturation. The
+// arms then run at 0.5x / 0.8x / 2.0x with ShedNewest admission, driving
+// the service from comfortable load past saturation.
+//
+// Reported per arm:
+//   - SERIES row (admitted updates over wall-clock — at 2.0x this is the
+//     pipeline's shed-bounded service rate, not the offered rate);
+//   - LATENCY rows (unit=flush): visibility latency — oldest queued update
+//     in a window → applied + published — via IngestService's visibility
+//     probe. The acceptance bar: finite p99 at 2.0x (admission keeps the
+//     backlog bounded; an unbounded queue would diverge) and a 0.8x p50
+//     tracking the flush deadline. Note the semantics vs bench_serve's
+//     serve_vis rows: this clock starts at *arrival* (includes queue wait
+//     and the deadline window), theirs at first batcher push, and on a
+//     single-core container the p99/p999 tails of both are dominated by
+//     multi-ms OS scheduling stalls, not pipeline work;
+//   - INGEST stats line: admission/degradation counters (the CI smoke
+//     asserts shed > 0 at 2.0x and zero supervision failures);
+//   - VERIFY row: final snapshot == engine root store (shed updates never
+//     reach either side, so serving consistency is checkable even past
+//     saturation).
+//
+// Knobs: FIVM_BENCH_UPDATES, FIVM_BENCH_BASE, FIVM_BENCH_FLUSH,
+// FIVM_BENCH_DEADLINE_US, FIVM_BENCH_QUEUE_CAP (per-relation admission
+// queue), FIVM_BENCH_DERATE_PCT, plus the global FIVM_BENCH_SCALE.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/ivm_engine.h"
+#include "src/core/query.h"
+#include "src/core/variable_order.h"
+#include "src/core/view_tree.h"
+#include "src/data/relation_ops.h"
+#include "src/exec/delta_batcher.h"
+#include "src/exec/parallel_executor.h"
+#include "src/exec/thread_pool.h"
+#include "src/ingest/ingest_service.h"
+#include "src/rings/ring.h"
+#include "src/serve/snapshot_server.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace fivm::bench {
+namespace {
+
+using Rel = Relation<I64Ring>;
+
+constexpr int64_t kDomainA = 20000;
+constexpr int64_t kDomainBC = 2000;
+
+struct Update {
+  Tuple key;
+  int8_t mult;
+};
+
+/// Q(A) = Σ R(A,B) ⋈ S(B,C), same shape as bench_serve so the visibility
+/// figures are comparable. The stream churns R against a fixed S.
+struct Fixture {
+  explicit Fixture(size_t base_rows) {
+    A = catalog.Intern("A");
+    B = catalog.Intern("B");
+    C = catalog.Intern("C");
+    query.AddRelation("R", Schema{A, B});
+    query.AddRelation("S", Schema{B, C});
+    query.SetFreeVars(Schema{A});
+    vo = VariableOrder::Auto(query);
+    tree.emplace(&query, &vo);
+    tree->MaterializeAll();
+    engine.emplace(&*tree, LiftingMap<I64Ring>{});
+    Database<I64Ring> db = MakeDatabase<I64Ring>(query);
+    util::Rng rng(4242);
+    for (size_t i = 0; i < base_rows; ++i) {
+      db[0].Add(Tuple::Ints({rng.UniformInt(0, kDomainA - 1),
+                             rng.UniformInt(0, kDomainBC - 1)}),
+                1);
+      if (i % 8 == 0) {
+        db[1].Add(Tuple::Ints({rng.UniformInt(0, kDomainBC - 1),
+                               rng.UniformInt(0, kDomainBC - 1)}),
+                  1);
+      }
+    }
+    engine->Initialize(db);
+  }
+
+  Catalog catalog;
+  Query query{&catalog};
+  VarId A, B, C;
+  VariableOrder vo;
+  std::optional<ViewTree> tree;
+  std::optional<IvmEngine<I64Ring>> engine;
+};
+
+std::vector<Update> MakeStream(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Update> stream;
+  stream.reserve(n);
+  std::vector<Tuple> live;
+  for (size_t i = 0; i < n; ++i) {
+    if (!live.empty() && rng.Bernoulli(0.2)) {
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      stream.push_back(Update{live[pick], -1});
+      live[pick] = live.back();
+      live.pop_back();
+      continue;
+    }
+    Tuple t = Tuple::Ints({rng.UniformInt(0, kDomainA - 1),
+                           rng.UniformInt(0, kDomainBC - 1)});
+    live.push_back(t);
+    stream.push_back(Update{std::move(t), 1});
+  }
+  return stream;
+}
+
+struct ArmResult {
+  double wall_s = 0;
+  ingest::IngestStats stats;
+  uint64_t final_degrade_level = 0;
+};
+
+/// One service run. `rate` is offered updates/s (0 = unpaced: offer as fast
+/// as admission allows — the calibration configuration). The producer is
+/// open-loop: deadlines advance at the offered rate regardless of admission
+/// outcome, so at 2.0x the service genuinely falls behind and must shed.
+ArmResult RunArm(const std::vector<Update>& stream, size_t base_rows,
+                 int64_t rate, ingest::AdmissionPolicy admission,
+                 obs::Histogram* vis_ns, bool verify, const char* name) {
+  Fixture f(base_rows);
+  serve::MergePolicy policy;
+  policy.max_segments = 4;
+  policy.max_diff_keys =
+      8 * static_cast<size_t>(EnvInt("FIVM_BENCH_FLUSH", 512));
+  serve::SnapshotServer<I64Ring> server(&*f.engine, policy);
+
+  exec::ThreadPool pool(2);
+  exec::ParallelExecutor<I64Ring> executor(&*f.engine, &pool, {.shards = 2});
+  exec::DeltaBatcher<I64Ring> batcher(&f.engine->plans(), /*capacity=*/0);
+
+  ingest::ServiceOptions opts;
+  opts.flush_updates = static_cast<size_t>(EnvInt("FIVM_BENCH_FLUSH", 512));
+  opts.flush_deadline =
+      std::chrono::microseconds(EnvInt("FIVM_BENCH_DEADLINE_US", 1000));
+  // Queue capacity sized to ride out multi-ms OS scheduler stalls (this
+  // runs producer + service + pool threads on whatever cores exist): at
+  // 0.8x of a ~1M/s sustainable rate, 32 windows absorb a ~20ms stall
+  // without shedding, so sub-saturation arms shed nothing and saturation
+  // arms shed by policy rather than by scheduling noise.
+  opts.default_queue = {
+      admission,
+      static_cast<size_t>(EnvInt("FIVM_BENCH_QUEUE_CAP",
+                                 static_cast<int64_t>(32 * opts.flush_updates)))};
+  // Degradation armed at 10x the flush deadline: above the single-core
+  // scheduler-noise tails (~5ms), so only genuine overload — a standing
+  // queue backlog, as in the 2.0x arm — widens the batch window.
+  opts.visibility_slo = opts.flush_deadline * 10;
+  // Merge placement (FIVM_BENCH_BG_MERGE_MS): >0 = background merger at
+  // that interval (merges overlap flushing — the production service shape),
+  // 0 = inline MergeStep after every flush (stalls the flush loop for the
+  // fold), <0 = no merging during the run (segments accumulate; the
+  // differential read path carries them until the final MergeNow).
+  const int64_t bg_merge_ms = EnvInt("FIVM_BENCH_BG_MERGE_MS", 1);
+  opts.merge_each_flush = (bg_merge_ms == 0);
+  ingest::IngestService<I64Ring> service(&*f.engine, &executor, &batcher,
+                                         &server, opts);
+  service.SetVisibilityProbe([vis_ns](uint64_t ns) { vis_ns->Record(ns); });
+  if (bg_merge_ms > 0) {
+    server.StartBackgroundMerge(std::chrono::milliseconds(bg_merge_ms));
+  }
+
+  service.Start();
+  util::Timer wall;
+  // Pace in rounds, not per update: per-update sleep_until syscall overhead
+  // would cap the producer itself well below the 2.0x target rate, and on a
+  // single-core box each producer wakeup also preempts the service thread.
+  const size_t kRound =
+      static_cast<size_t>(EnvInt("FIVM_BENCH_PACE_ROUND", 256));
+  const auto round_period =
+      rate > 0 ? std::chrono::nanoseconds(kRound * 1000000000LL /
+                                          static_cast<uint64_t>(rate))
+               : std::chrono::nanoseconds(0);
+  auto next = std::chrono::steady_clock::now();
+  size_t i = 0;
+  for (const Update& u : stream) {
+    if (rate > 0 && (i++ % kRound) == 0) {
+      next += round_period;
+      std::this_thread::sleep_until(next);
+    }
+    service.Offer(0, u.key, u.mult);
+  }
+  service.Stop();
+  server.StopBackgroundMerge();
+
+  ArmResult r;
+  r.wall_s = wall.ElapsedSeconds();
+  r.stats = service.GetStats();
+  r.final_degrade_level = service.degrade_level();
+
+  if (verify) {
+    server.Publish();
+    server.MergeNow();
+    auto snap = server.Acquire();
+    bool equal = ContentEquals(snap.Materialize(), f.engine->result());
+    std::printf("VERIFY %s: final snapshot %s engine root store "
+                "(size %zu, %llu merges)\n",
+                name, equal ? "==" : "!=", snap.Size(),
+                static_cast<unsigned long long>(server.MergeCount()));
+  }
+  return r;
+}
+
+void PrintStatsLine(const char* name, const ArmResult& r) {
+  std::printf(
+      "INGEST %s: admitted=%llu shed=%llu dropped=%llu blocks=%llu "
+      "flushes=%llu size_flushes=%llu deadline_flushes=%llu "
+      "degrade_enters=%llu degrade_exits=%llu degrade_level=%llu "
+      "failed_flushes=%llu publish_failures=%llu\n",
+      name, static_cast<unsigned long long>(r.stats.admitted),
+      static_cast<unsigned long long>(r.stats.shed),
+      static_cast<unsigned long long>(r.stats.dropped),
+      static_cast<unsigned long long>(r.stats.blocks),
+      static_cast<unsigned long long>(r.stats.flushes),
+      static_cast<unsigned long long>(r.stats.size_flushes),
+      static_cast<unsigned long long>(r.stats.deadline_flushes),
+      static_cast<unsigned long long>(r.stats.degrade_enters),
+      static_cast<unsigned long long>(r.stats.degrade_exits),
+      static_cast<unsigned long long>(r.final_degrade_level),
+      static_cast<unsigned long long>(r.stats.failed_flushes),
+      static_cast<unsigned long long>(r.stats.publish_failures));
+}
+
+void RunIngestArms() {
+  const int64_t scale = BenchScale();
+  const size_t updates =
+      static_cast<size_t>(EnvInt("FIVM_BENCH_UPDATES", 200000 * scale));
+  const size_t base_rows =
+      static_cast<size_t>(EnvInt("FIVM_BENCH_BASE", 40000 * scale));
+
+  PrintHeader("bench_ingest: paced ingest service, rate sweep past saturation");
+  auto stream = MakeStream(updates, /*seed=*/7);
+  auto& reg = obs::MetricRegistry::Default();
+
+  // Calibration: Block admission, unpaced — the producer runs at whatever
+  // rate backpressure allows, so admitted/wall IS the sustainable rate.
+  obs::Histogram* calib_hist = reg.GetHistogram("bench.vis_ns.ingest_calib");
+  ArmResult calib = RunArm(stream, base_rows, /*rate=*/0,
+                           ingest::AdmissionPolicy::kBlock, calib_hist,
+                           /*verify=*/false, "ingest_calib");
+  // Closed-loop calibration overestimates open-loop capacity on one core:
+  // the paced arms' producer pays a timer wakeup (and the resulting context
+  // switch) every pacing round, which the unpaced calibration producer never
+  // does. Without a derate, the "0.8x" arm straddles true saturation and
+  // sheds anywhere from 0% to ~18% run-to-run. Derate so the sub-saturation
+  // arms are genuinely sub-saturation while 2.0x stays well past it.
+  const double derate =
+      static_cast<double>(EnvInt("FIVM_BENCH_DERATE_PCT", 85)) / 100.0;
+  const double sustainable =
+      static_cast<double>(calib.stats.admitted) / calib.wall_s * derate;
+  std::printf("calibration: %zu updates in %.2fs -> sustainable rate "
+              "%.0f updates/s (closed-loop x %.2f derate)\n",
+              updates, calib.wall_s, sustainable, derate);
+
+  const double factors[] = {0.5, 0.8, 2.0};
+  const char* arm_name[] = {"ingest_05x", "ingest_08x", "ingest_20x"};
+  const char* vis_name[] = {"ingest_vis_05x", "ingest_vis_08x",
+                            "ingest_vis_20x"};
+  ArmResult results[3];
+  obs::Histogram* vis_hist[3];
+  for (int a = 0; a < 3; ++a) {
+    vis_hist[a] =
+        reg.GetHistogram(std::string("bench.vis_ns.") + arm_name[a]);
+    const int64_t rate =
+        std::max<int64_t>(1, static_cast<int64_t>(sustainable * factors[a]));
+    results[a] = RunArm(stream, base_rows, rate,
+                        ingest::AdmissionPolicy::kShedNewest, vis_hist[a],
+                        /*verify=*/true, arm_name[a]);
+  }
+
+  for (int a = 0; a < 3; ++a) {
+    PrintSeriesRow(arm_name[a], 1.0, results[a].stats.admitted,
+                   results[a].wall_s, MemoryMB());
+  }
+  for (int a = 0; a < 3; ++a) {
+    PrintLatencyRow(vis_name[a], *vis_hist[a], "flush");
+  }
+  for (int a = 0; a < 3; ++a) {
+    PrintStatsLine(arm_name[a], results[a]);
+  }
+}
+
+}  // namespace
+}  // namespace fivm::bench
+
+int main() {
+  fivm::bench::RunIngestArms();
+  return 0;
+}

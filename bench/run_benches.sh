@@ -13,10 +13,13 @@
 # src/obs/ histograms, stored as "latency_us" under each system entry) to
 # every figure series and the skew sweep; PR8 adds bench_serve (snapshot
 # serving: reader-count sweep with read/visibility percentiles, the
-# writer user-cpu ratio, and the merge-fold ordered-vs-arrival A/B).
+# writer user-cpu ratio, and the merge-fold ordered-vs-arrival A/B);
+# PR9 adds bench_ingest (the streaming ingest service: calibrated rate
+# sweep at 0.5x/0.8x/2.0x of sustainable with ShedNewest admission,
+# visibility percentiles, and admission/degradation counters).
 # Knobs (all optional):
-#   FIVM_BENCH_LABEL      result key in the JSON (default: pr8)
-#   FIVM_BENCH_OUT        output JSON path (default: <repo>/BENCH_PR8.json)
+#   FIVM_BENCH_LABEL      result key in the JSON (default: pr9)
+#   FIVM_BENCH_OUT        output JSON path (default: <repo>/BENCH_PR9.json)
 #   FIVM_BENCH_BUILD_DIR  build tree (default: <repo>/build-bench)
 #   FIVM_BENCH_SCALE      dataset scale for the figure harnesses (default 1)
 #   FIVM_BENCH_BUDGET_SEC per-strategy budget in seconds (default 20)
@@ -24,8 +27,8 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${FIVM_BENCH_BUILD_DIR:-$ROOT/build-bench}"
-OUT="${FIVM_BENCH_OUT:-$ROOT/BENCH_PR8.json}"
-LABEL="${FIVM_BENCH_LABEL:-pr8}"
+OUT="${FIVM_BENCH_OUT:-$ROOT/BENCH_PR9.json}"
+LABEL="${FIVM_BENCH_LABEL:-pr9}"
 export FIVM_BENCH_SCALE="${FIVM_BENCH_SCALE:-1}"
 export FIVM_BENCH_BUDGET_SEC="${FIVM_BENCH_BUDGET_SEC:-20}"
 
@@ -33,7 +36,7 @@ cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
     bench_micro_relation bench_micro_join bench_fig13_triangle \
     bench_fig7_housing bench_batch bench_ring bench_ivme_skew \
-    bench_serve >/dev/null
+    bench_serve bench_ingest >/dev/null
 
 "$BUILD_DIR/bench/bench_micro_relation" \
     --benchmark_format=json > "$BUILD_DIR/micro_relation.json"
@@ -45,6 +48,7 @@ cmake --build "$BUILD_DIR" -j --target \
 "$BUILD_DIR/bench/bench_fig7_housing" | tee "$BUILD_DIR/fig7.txt"
 "$BUILD_DIR/bench/bench_batch" | tee "$BUILD_DIR/batch.txt"
 "$BUILD_DIR/bench/bench_serve" | tee "$BUILD_DIR/serve.txt"
+"$BUILD_DIR/bench/bench_ingest" | tee "$BUILD_DIR/ingest.txt"
 
 # IVM^ε asymptotic sweep: 3 N settings (updates scale with the domain) at
 # high hot-vertex skew; the per-N SPEEDUP ratios in the JSON should widen.
@@ -66,6 +70,7 @@ python3 "$ROOT/bench/collect_bench_json.py" \
     --series bench_fig7_housing="$BUILD_DIR/fig7.txt" \
     --series bench_batch="$BUILD_DIR/batch.txt" \
     --series bench_serve="$BUILD_DIR/serve.txt" \
+    --series bench_ingest="$BUILD_DIR/ingest.txt" \
     --series bench_ivme_skew_n1000="$BUILD_DIR/ivme_skew_n1000.txt" \
     --series bench_ivme_skew_n4000="$BUILD_DIR/ivme_skew_n4000.txt" \
     --series bench_ivme_skew_n16000="$BUILD_DIR/ivme_skew_n16000.txt"

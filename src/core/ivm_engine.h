@@ -361,16 +361,25 @@ class IvmEngine {
   /// in the delta, so the per-shard results merge by ⊎ into exactly the
   /// sequential result. Each concurrent caller must pass its own
   /// `scratch` (or use the scratch-allocating overload).
+  ///
+  /// With `stage_leaf` set, the leaf's own store delta is also handed to
+  /// the sink (first, before any plan step) instead of the caller absorbing
+  /// it into the leaf store upfront. A caller that stages every sink result
+  /// and merges only after propagation succeeds then gets all-or-nothing
+  /// semantics with respect to engine state — nothing is written if any
+  /// step throws. Only pass it for leaves with a materialized store.
   template <typename StoreDeltaSink>
   void PropagateDelta(int from, Relation<Ring> cur,
                       StoreDeltaSink&& store_delta,
-                      PropagationScratch* scratch) const {
+                      PropagationScratch* scratch,
+                      bool stage_leaf = false) const {
     const plan::PropagationPlan& p = plans_.ForLeaf(from);
     assert(p.executable() &&
            "sibling view not materialized for this updatable set");
     assert(cur.schema() == p.leaf_schema());
     Relation<Ring> owned = std::move(cur);
     const Relation<Ring>* left = &owned;
+    if (stage_leaf) left = &store_delta(from, std::move(owned));
     int next_buf = 0;
 #if FIVM_METRICS_ENABLED
     // Per-step profile: timer + tuple counts + allocation delta, recorded

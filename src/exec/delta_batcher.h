@@ -13,6 +13,7 @@
 #include "src/obs/metrics.h"
 #include "src/plan/propagation_plan.h"
 #include "src/rings/ring.h"
+#include "src/util/fail_point.h"
 
 namespace fivm::exec {
 
@@ -120,6 +121,10 @@ class DeltaBatcher {
   /// keys whose payloads cancelled to zero and reordering each delta to the
   /// engine's leaf out-schema in a single pass. Resets the batcher.
   std::vector<Batch> Flush() {
+    // Failpoint before any accumulator is surrendered: a flush that throws
+    // here leaves every buffered update in place, so the caller can simply
+    // retry Flush() (see ingest::IngestService supervision).
+    FIVM_FAIL_POINT("batcher.flush");
     std::vector<Batch> out;
     out.reserve(touched_.size());
     // Coalescing accounting, read off the accumulators before they are

@@ -16,6 +16,7 @@
 #include "src/exec/delta_batcher.h"
 #include "src/exec/thread_pool.h"
 #include "src/plan/propagation_plan.h"
+#include "src/util/fail_point.h"
 
 namespace fivm::exec {
 
@@ -37,6 +38,12 @@ namespace fivm::exec {
 /// Updates that fire indicator propagations are stateful (support counts)
 /// and automatically fall back to the sequential engine path, as do batches
 /// too small to amortize the fork/merge overhead.
+///
+/// The parallel path is all-or-nothing with respect to engine state: every
+/// store delta — the leaf's included — is staged in worker-local buffers
+/// and merged only after all tasks completed, so an exception thrown by a
+/// worker task (see the "exec.task" failpoint) propagates out of ApplyBatch
+/// with no store modified.
 template <typename Ring>
   requires RingPolicy<Ring>
 class ParallelExecutor {
@@ -110,11 +117,14 @@ class ParallelExecutor {
     const Schema& leaf_schema = plan.leaf_schema();
     delta = Reordered(std::move(delta), leaf_schema);
 
-    // The leaf store absorbs the whole batch up front, exactly as the
-    // sequential trigger does; propagation never reads the leaf store.
-    if (engine_->tree().node(leaf).materialized) {
-      engine_->AbsorbStoreDelta(leaf, delta);
-    }
+    // The leaf's own store delta is staged through each shard's sink along
+    // with the view deltas (stage_leaf below) rather than absorbed up
+    // front: no shared store is written until every worker task has
+    // finished, so a task that throws — an injected fault or a real one —
+    // leaves the engine exactly as it was (no partial merge). The batch
+    // content is consumed either way; retry policy lives in the caller
+    // (see ingest::IngestService).
+    const bool leaf_materialized = engine_->tree().node(leaf).materialized;
 
     // Partition on the first sibling join's key so entries sharing a join
     // partner land in the same shard; any partition is correct
@@ -159,7 +169,9 @@ class ParallelExecutor {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(shards);
     for (size_t s = 0; s < shards; ++s) {
-      tasks.push_back([this, leaf, s, &shard_delta, &staged] {
+      tasks.push_back([this, leaf, s, leaf_materialized, &shard_delta,
+                       &staged] {
+        FIVM_FAIL_POINT("exec.task");
         auto& out = staged[s];
         // The sink takes ownership of each store delta (no copy) and the
         // propagation continues reading from the staged slot. Scratch is
@@ -171,9 +183,12 @@ class ParallelExecutor {
               out.emplace_back(node, std::move(d));
               return out.back().second;
             },
-            &scratch);
+            &scratch, /*stage_leaf=*/leaf_materialized);
       });
     }
+    // Rethrows the first task exception only after every task finished its
+    // round (ThreadPool barrier semantics), so no staged delta has touched
+    // the shared stores when an exception escapes here.
     pool_->RunTasks(std::move(tasks));
 
     // Deterministic shard-ordered merge into the shared stores (large

@@ -1,0 +1,628 @@
+// Streaming ingest front-end: the long-running service loop that turns the
+// library's batch machinery into a deployment-shaped system. Producers Offer()
+// single-tuple updates into bounded per-relation admission queues; a service
+// thread moves admitted updates into the DeltaBatcher and flushes on EITHER
+// trigger — enough buffered updates (flush-by-size) or the oldest admitted
+// update aging past the flush deadline (flush-by-time) — then drives
+// ParallelExecutor propagation and SnapshotServer::Publish, so every flush
+// becomes one atomically visible snapshot step.
+//
+//   sources → Offer() → admission queues → DeltaBatcher → ParallelExecutor
+//                                              → engine stores → Publish()
+//
+// Robustness properties:
+//  * Admission control: each relation's queue is bounded and governed by an
+//    AdmissionPolicy — kBlock (backpressure the producer), kShedNewest
+//    (reject the incoming update), kDropOldest (evict the queue head). Every
+//    outcome is counted (Stats + obs ingest.* counters).
+//  * Graceful degradation: update visibility (steady-clock age of the oldest
+//    update in a flushed window, recorded into the ingest.visibility_ns
+//    histogram) is checked against ServiceOptions::visibility_slo; when more
+//    than half the flushes in a window violate the SLO the service doubles
+//    its effective batch window (size and deadline) — trading per-update
+//    latency for throughput instead of falling over — and narrows it back
+//    once a full window is clean.
+//  * Fault supervision: Flush, ApplyBatch, Publish and MergeStep are wrapped
+//    in retry-with-capped-backoff loops. The underlying operations are
+//    all-or-nothing (batcher.flush / serve.publish failpoints sit before any
+//    state change; the parallel executor stages every store delta until all
+//    worker tasks succeed), so a retry can never double-apply. ApplyBatch
+//    consumes its delta, so the supervisor retains a copy per flush for
+//    retry (set max_retries=0 to skip both the copy and the supervision).
+//    Publish failures past the retry budget are absorbed, not propagated:
+//    staged segments stay staged and the next flush's publish makes them
+//    visible — visibility delayed, never lost.
+//  * Clean shutdown: Stop() stops admission, drains every queued update
+//    through flush→apply→publish, then joins the service thread. With
+//    kBlock admission nothing offered before Stop() is lost.
+//
+// Threading: any number of producer threads may Offer() concurrently; the
+// single service thread owns batcher/executor/server (the engine write path
+// is single-writer by contract). Tests can instead run the loop inline with
+// PumpOnce()/DrainNow() — same code paths, no thread.
+#ifndef FIVM_INGEST_INGEST_SERVICE_H_
+#define FIVM_INGEST_INGEST_SERVICE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/ivm_engine.h"
+#include "src/exec/delta_batcher.h"
+#include "src/exec/parallel_executor.h"
+#include "src/obs/metrics.h"
+#include "src/serve/snapshot_server.h"
+#include "src/util/fail_point.h"
+
+namespace fivm::ingest {
+
+/// What Offer() does when a relation's admission queue is full.
+enum class AdmissionPolicy {
+  kBlock,      // wait for the service to drain the queue (backpressure)
+  kShedNewest, // reject the incoming update (Offer returns false)
+  kDropOldest, // evict the oldest queued update, admit the incoming one
+};
+
+struct QueuePolicy {
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Maximum queued (admitted, not yet batched) updates for the relation.
+  size_t capacity = 8192;
+};
+
+struct ServiceOptions {
+  /// Flush-by-size: buffered updates (queue + batcher, pre-coalescing) that
+  /// trigger a flush. Doubled per degradation level.
+  size_t flush_updates = 512;
+  /// Flush-by-time: a flush fires when the oldest admitted-but-unflushed
+  /// update is older than this. Doubled per degradation level.
+  std::chrono::microseconds flush_deadline{1000};
+  /// Per-flush visibility SLO driving degradation; 0 disables degradation.
+  std::chrono::microseconds visibility_slo{0};
+  /// Flushes per SLO evaluation window: degrade when more than half the
+  /// window violated the SLO, recover when the whole window was clean.
+  size_t slo_window = 32;
+  /// Ceiling on degradation: effective window = configured × 2^level.
+  size_t max_degrade_level = 3;
+  /// Supervision retry budget per operation (0 disables retry — faults
+  /// then propagate out of the service loop — and skips the per-flush
+  /// retry copy).
+  size_t max_retries = 16;
+  /// First retry sleep; doubles per attempt up to retry_backoff_cap.
+  std::chrono::microseconds retry_backoff{50};
+  std::chrono::microseconds retry_backoff_cap{10000};
+  /// Run one SnapshotServer::MergeStep after each flush (no-op without a
+  /// server; merge failures are counted and absorbed — the next flush
+  /// retries).
+  bool merge_each_flush = true;
+  /// Admission policy applied to every relation unless overridden via
+  /// SetQueuePolicy.
+  QueuePolicy default_queue;
+};
+
+/// Counters mirrored into the obs registry as ingest.*; these live in every
+/// build config (tests and benches read them with FIVM_METRICS=OFF too).
+struct IngestStats {
+  uint64_t admitted = 0;
+  uint64_t shed = 0;          // kShedNewest rejections (+ offers after Stop)
+  uint64_t dropped = 0;       // kDropOldest evictions
+  uint64_t blocks = 0;        // kBlock wait episodes
+  uint64_t flushes = 0;
+  uint64_t size_flushes = 0;
+  uint64_t deadline_flushes = 0;
+  uint64_t drain_flushes = 0;
+  uint64_t flush_retries = 0;
+  uint64_t apply_retries = 0;
+  uint64_t publish_retries = 0;
+  uint64_t publish_failures = 0;  // retry budget exhausted (absorbed)
+  uint64_t merge_failures = 0;    // absorbed; next flush retries
+  /// Flush/apply retry budget exhausted on the service thread: the window's
+  /// updates were abandoned (engine state stays consistent — the failed
+  /// operation was all-or-nothing). Only non-zero under persistent faults.
+  uint64_t failed_flushes = 0;
+  uint64_t degrade_enters = 0;
+  uint64_t degrade_exits = 0;
+};
+
+template <typename Ring>
+  requires RingPolicy<Ring>
+class IngestService {
+ public:
+  using Element = typename Ring::Element;
+  using Clock = std::chrono::steady_clock;
+
+  /// All pointees must outlive the service. `server` may be null (ingest
+  /// without a serving layer). When a server is given the service installs
+  /// its own supervised publish as the executor's post-batch hook and owns
+  /// that wiring until destruction.
+  IngestService(IvmEngine<Ring>* engine, exec::ParallelExecutor<Ring>* executor,
+                exec::DeltaBatcher<Ring>* batcher,
+                serve::SnapshotServer<Ring>* server, ServiceOptions options = {})
+      : engine_(engine),
+        executor_(executor),
+        batcher_(batcher),
+        server_(server),
+        opts_(options) {
+    queues_.resize(engine_->tree().query().relation_count());
+    for (auto& q : queues_) q.policy = opts_.default_queue;
+    if (server_ != nullptr) {
+      executor_->SetPostBatchHook([this] { SupervisedPublish(); });
+    }
+    auto& reg = obs::MetricRegistry::Default();
+    obs_admitted_ = reg.GetCounter("ingest.admitted");
+    obs_shed_ = reg.GetCounter("ingest.shed");
+    obs_dropped_ = reg.GetCounter("ingest.dropped");
+    obs_blocks_ = reg.GetCounter("ingest.blocks");
+    obs_flushes_ = reg.GetCounter("ingest.flushes");
+    obs_retries_ = reg.GetCounter("ingest.retries");
+    obs_degrades_ = reg.GetCounter("ingest.degrade_transitions");
+    obs_visibility_ns_ = reg.GetHistogram("ingest.visibility_ns");
+    depth_gauge_token_ = reg.RegisterGauge("ingest.queue_depth", [this] {
+      return static_cast<int64_t>(queued_depth_.load(std::memory_order_relaxed));
+    });
+    level_gauge_token_ = reg.RegisterGauge("ingest.degrade_level", [this] {
+      return static_cast<int64_t>(
+          degrade_level_.load(std::memory_order_relaxed));
+    });
+  }
+
+  ~IngestService() {
+    if (service_.joinable()) Stop();
+    if (server_ != nullptr) executor_->SetPostBatchHook(nullptr);
+    auto& reg = obs::MetricRegistry::Default();
+    reg.UnregisterGauge("ingest.queue_depth", depth_gauge_token_);
+    reg.UnregisterGauge("ingest.degrade_level", level_gauge_token_);
+  }
+
+  IngestService(const IngestService&) = delete;
+  IngestService& operator=(const IngestService&) = delete;
+
+  /// Per-relation admission override; call before producers start.
+  void SetQueuePolicy(int relation, QueuePolicy policy) {
+    queues_[static_cast<size_t>(relation)].policy = policy;
+  }
+
+  /// Admits one update (any thread). Returns false when the update was shed:
+  /// queue full under kShedNewest, or the service is stopping. Under kBlock
+  /// a full queue blocks until the service drains it (or Stop() begins).
+  bool Offer(int relation, const Tuple& key, Element payload) {
+    const uint64_t now = NowNs();
+    std::unique_lock<std::mutex> lk(mu_);
+    RelQueue& rq = queues_[static_cast<size_t>(relation)];
+    if (!accepting_) {
+      Shed(1);
+      return false;
+    }
+    while (rq.q.size() >= rq.policy.capacity) {
+      switch (rq.policy.admission) {
+        case AdmissionPolicy::kShedNewest:
+          Shed(1);
+          return false;
+        case AdmissionPolicy::kDropOldest:
+          if (rq.q.empty()) {  // capacity 0: nothing to evict, shed instead
+            Shed(1);
+            return false;
+          }
+          rq.q.pop_front();
+          --queued_total_;
+          stats_.dropped += 1;
+          obs_dropped_->Inc();
+          continue;
+        case AdmissionPolicy::kBlock:
+          stats_.blocks += 1;
+          obs_blocks_->Inc();
+          space_cv_.wait(lk, [&] {
+            return !accepting_ || rq.q.size() < rq.policy.capacity;
+          });
+          if (!accepting_) {
+            Shed(1);
+            return false;
+          }
+          continue;
+      }
+    }
+    rq.q.push_back(Pending{key, std::move(payload), now});
+    ++queued_total_;
+    queued_depth_.store(queued_total_, std::memory_order_relaxed);
+    stats_.admitted += 1;
+    obs_admitted_->Inc();
+    lk.unlock();
+    ingest_cv_.notify_one();
+    return true;
+  }
+
+  /// Starts the service thread. Pair with Stop(); do not mix with
+  /// PumpOnce()/DrainNow().
+  void Start() {
+    assert(!service_.joinable());
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = false;
+      accepting_ = true;
+    }
+    service_ = std::thread([this] { ServiceLoop(); });
+  }
+
+  /// Stops admission, drains everything already admitted (flush → apply →
+  /// publish), and joins the service thread.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      accepting_ = false;
+      stop_ = true;
+    }
+    ingest_cv_.notify_all();
+    space_cv_.notify_all();
+    if (service_.joinable()) service_.join();
+  }
+
+  /// Synchronous single step for tests and benches (no service thread):
+  /// admits queued updates into the batcher and flushes when a trigger
+  /// holds (or unconditionally with force_flush). Returns true when a
+  /// flush ran. Producers on other threads may Offer() concurrently, but
+  /// beware kBlock with a single thread: an Offer that blocks with nobody
+  /// pumping deadlocks — use a capacity ≥ the offered burst.
+  bool PumpOnce(bool force_flush = false) {
+    MoveQueuedToBatcher();
+    FlushTrigger trigger;
+    if (force_flush) {
+      trigger = FlushTrigger::kDrain;
+    } else if (batcher_->pending_updates() >= EffectiveFlushUpdates()) {
+      trigger = FlushTrigger::kSize;
+    } else if (batcher_->pending_updates() > 0 &&
+               NowNs() >= window_oldest_ns_ + EffectiveDeadlineNs()) {
+      trigger = FlushTrigger::kDeadline;
+    } else {
+      return false;
+    }
+    if (batcher_->pending_updates() == 0) return false;
+    FlushWindow(trigger);
+    return true;
+  }
+
+  /// Drains every queued update through flush/apply/publish, inline.
+  void DrainNow() {
+    bool more = true;
+    while (more) {
+      PumpOnce(/*force_flush=*/true);
+      std::lock_guard<std::mutex> lk(mu_);
+      more = queued_total_ > 0;
+    }
+  }
+
+  IngestStats GetStats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+  size_t degrade_level() const {
+    return degrade_level_.load(std::memory_order_relaxed);
+  }
+  size_t queue_depth() const {
+    return queued_depth_.load(std::memory_order_relaxed);
+  }
+  size_t EffectiveFlushUpdates() const {
+    return opts_.flush_updates
+           << degrade_level_.load(std::memory_order_relaxed);
+  }
+  uint64_t EffectiveDeadlineNs() const {
+    return static_cast<uint64_t>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   opts_.flush_deadline)
+                   .count())
+           << degrade_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-flush visibility callback (latency in ns), invoked on the service
+  /// thread after each flush; benches use this for per-arm histograms.
+  void SetVisibilityProbe(std::function<void(uint64_t)> probe) {
+    visibility_probe_ = std::move(probe);
+  }
+
+ private:
+  struct Pending {
+    Tuple key;
+    Element payload;
+    uint64_t arrival_ns;
+  };
+  struct RelQueue {
+    QueuePolicy policy;
+    std::deque<Pending> q;
+  };
+  enum class FlushTrigger { kSize, kDeadline, kDrain };
+
+  static uint64_t NowNs() {
+    // steady_clock, not obs::TickClock: control decisions must work with
+    // FIVM_METRICS=OFF (where TickClock::Now() is a zero stub).
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
+
+  void Shed(uint64_t n) {  // caller holds mu_
+    stats_.shed += n;
+    obs_shed_->Add(n);
+  }
+
+  /// The service thread: wait for work, admit, flush on whichever trigger
+  /// fires first, drain on stop.
+  void ServiceLoop() {
+    for (;;) {
+      FlushTrigger trigger = FlushTrigger::kSize;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        for (;;) {
+          if (stop_) break;
+          const size_t window = batcher_->pending_updates();
+          if (queued_total_ == 0 && window == 0) {
+            ingest_cv_.wait(lk, [&] { return stop_ || queued_total_ > 0; });
+            continue;
+          }
+          if (queued_total_ + window >= EffectiveFlushUpdates()) {
+            trigger = FlushTrigger::kSize;
+            break;
+          }
+          const uint64_t oldest =
+              std::min(window > 0 ? window_oldest_ns_ : kNoDeadline,
+                       OldestQueuedLocked());
+          const uint64_t due_ns = oldest + EffectiveDeadlineNs();
+          if (NowNs() >= due_ns) {
+            trigger = FlushTrigger::kDeadline;
+            break;
+          }
+          ingest_cv_.wait_until(
+              lk, Clock::time_point(std::chrono::nanoseconds(due_ns)));
+        }
+        if (stop_) break;
+      }
+      MoveQueuedToBatcher();
+      if (batcher_->pending_updates() > 0) {
+        // An exception here means a retry budget was exhausted under a
+        // persistent fault. Letting it escape the service thread would
+        // std::terminate; engine/serving state is still consistent
+        // (failed operations are all-or-nothing), so count the lost
+        // window and keep serving.
+        try {
+          FlushWindow(trigger);
+        } catch (const std::exception&) {
+          std::lock_guard<std::mutex> lk(mu_);
+          stats_.failed_flushes += 1;
+        }
+      }
+    }
+    // Shutdown drain: admission is closed (Stop set accepting_ = false), so
+    // this terminates; everything admitted becomes visible before join.
+    try {
+      DrainNow();
+    } catch (const std::exception&) {
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.failed_flushes += 1;
+    }
+  }
+
+  uint64_t OldestQueuedLocked() const {
+    uint64_t oldest = kNoDeadline;
+    for (const RelQueue& rq : queues_) {
+      if (!rq.q.empty()) oldest = std::min(oldest, rq.q.front().arrival_ns);
+    }
+    return oldest;
+  }
+
+  /// Moves queued updates into the batcher, up to one effective window's
+  /// worth, oldest-first across relations; wakes blocked producers.
+  void MoveQueuedToBatcher() {
+    moved_.clear();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      size_t budget = EffectiveFlushUpdates();
+      const size_t pending = batcher_->pending_updates();
+      budget = budget > pending ? budget - pending : 0;
+      for (size_t r = 0; r < queues_.size() && budget > 0; ++r) {
+        auto& q = queues_[r].q;
+        while (!q.empty() && budget > 0) {
+          moved_.emplace_back(static_cast<int>(r), std::move(q.front()));
+          q.pop_front();
+          --queued_total_;
+          --budget;
+        }
+      }
+      queued_depth_.store(queued_total_, std::memory_order_relaxed);
+    }
+    if (!moved_.empty()) space_cv_.notify_all();
+    for (auto& [rel, p] : moved_) {
+      window_oldest_ns_ = std::min(window_oldest_ns_, p.arrival_ns);
+      batcher_->Push(rel, std::move(p.key), std::move(p.payload));
+    }
+    moved_.clear();
+  }
+
+  /// One supervised flush→apply[→merge] pass over the current window.
+  /// (Publish runs inside ApplyBatch via the post-batch hook.)
+  void FlushWindow(FlushTrigger trigger) {
+    const uint64_t window_oldest = window_oldest_ns_;
+    window_oldest_ns_ = kNoDeadline;
+    auto batches = SupervisedFlush();
+    for (auto& b : batches) {
+      SupervisedApply(b.relation, std::move(b.delta));
+    }
+    // Visibility is stamped here: every update in the window is applied and
+    // published (readers see it). The merge below is compaction, not
+    // visibility.
+    const uint64_t vis_ns = NowNs() - window_oldest;
+    obs_visibility_ns_->Record(vis_ns);
+    if (visibility_probe_) visibility_probe_(vis_ns);
+    if (server_ != nullptr && opts_.merge_each_flush) {
+      try {
+        server_->MergeStep();
+      } catch (const std::exception&) {
+        std::lock_guard<std::mutex> lk(mu_);
+        stats_.merge_failures += 1;  // segments wait for the next flush
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.flushes += 1;
+      switch (trigger) {
+        case FlushTrigger::kSize: stats_.size_flushes += 1; break;
+        case FlushTrigger::kDeadline: stats_.deadline_flushes += 1; break;
+        case FlushTrigger::kDrain: stats_.drain_flushes += 1; break;
+      }
+    }
+    obs_flushes_->Inc();
+    UpdateDegradation(vis_ns);
+  }
+
+  /// Widens the batch window ×2 per level under sustained SLO violation,
+  /// narrows it back after a clean window.
+  void UpdateDegradation(uint64_t vis_ns) {
+    if (opts_.visibility_slo.count() <= 0) return;
+    const uint64_t slo_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            opts_.visibility_slo)
+            .count());
+    slo_flushes_ += 1;
+    if (vis_ns > slo_ns) slo_violations_ += 1;
+    if (slo_flushes_ < opts_.slo_window) return;
+    const size_t level = degrade_level_.load(std::memory_order_relaxed);
+    if (slo_violations_ * 2 > slo_flushes_ && level < opts_.max_degrade_level) {
+      degrade_level_.store(level + 1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.degrade_enters += 1;
+      obs_degrades_->Inc();
+    } else if (slo_violations_ == 0 && level > 0) {
+      degrade_level_.store(level - 1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.degrade_exits += 1;
+      obs_degrades_->Inc();
+    }
+    slo_flushes_ = 0;
+    slo_violations_ = 0;
+  }
+
+  std::vector<typename exec::DeltaBatcher<Ring>::Batch> SupervisedFlush() {
+    // Flush throws only before surrendering any accumulator (its failpoint
+    // sits at entry), so a failed flush is retried verbatim.
+    auto backoff = opts_.retry_backoff;
+    for (size_t attempt = 0;; ++attempt) {
+      try {
+        return batcher_->Flush();
+      } catch (const std::exception&) {
+        if (attempt >= opts_.max_retries) throw;
+        CountRetry(&IngestStats::flush_retries);
+        Backoff(&backoff);
+      }
+    }
+  }
+
+  void SupervisedApply(int relation, Relation<Ring> delta) {
+    if (opts_.max_retries == 0) {
+      executor_->ApplyBatch(relation, std::move(delta));
+      return;
+    }
+    // ApplyBatch consumes its delta but is all-or-nothing with respect to
+    // engine state (and the publish hook never throws — see
+    // SupervisedPublish), so retrying from a retained copy cannot
+    // double-apply.
+    auto backoff = opts_.retry_backoff;
+    for (size_t attempt = 0;; ++attempt) {
+      Relation<Ring> attempt_delta(delta);
+      try {
+        executor_->ApplyBatch(relation, std::move(attempt_delta));
+        return;
+      } catch (const std::exception&) {
+        if (attempt >= opts_.max_retries) throw;
+        CountRetry(&IngestStats::apply_retries);
+        Backoff(&backoff);
+      }
+    }
+  }
+
+  /// Post-batch hook: publish with retry, absorbing exhaustion. Publish
+  /// runs inside ApplyBatch (after the batch merged into the stores), so an
+  /// escaping exception would make the apply supervisor re-run an already
+  /// applied batch; instead a publish that stays down only delays
+  /// visibility — segments remain staged for the next publish.
+  void SupervisedPublish() {
+    auto backoff = opts_.retry_backoff;
+    for (size_t attempt = 0;; ++attempt) {
+      try {
+        server_->Publish();
+        return;
+      } catch (const std::exception&) {
+        if (attempt >= opts_.max_retries) {
+          std::lock_guard<std::mutex> lk(mu_);
+          stats_.publish_failures += 1;
+          return;
+        }
+        CountRetry(&IngestStats::publish_retries);
+        Backoff(&backoff);
+      }
+    }
+  }
+
+  void CountRetry(uint64_t IngestStats::* field) {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.*field += 1;
+    obs_retries_->Inc();
+  }
+
+  void Backoff(std::chrono::microseconds* backoff) {
+    std::this_thread::sleep_for(*backoff);
+    *backoff = std::min(*backoff * 2, opts_.retry_backoff_cap);
+  }
+
+  static constexpr uint64_t kNoDeadline =
+      std::numeric_limits<uint64_t>::max();
+
+  IvmEngine<Ring>* engine_;
+  exec::ParallelExecutor<Ring>* executor_;
+  exec::DeltaBatcher<Ring>* batcher_;
+  serve::SnapshotServer<Ring>* server_;  // may be null
+  ServiceOptions opts_;
+
+  /// Admission state (mu_). queued_total_ mirrors into queued_depth_ for
+  /// lock-free gauge reads.
+  mutable std::mutex mu_;
+  std::condition_variable ingest_cv_;  // service waits for work
+  std::condition_variable space_cv_;   // kBlock producers wait for space
+  std::vector<RelQueue> queues_;
+  size_t queued_total_ = 0;
+  bool accepting_ = true;
+  bool stop_ = false;
+  IngestStats stats_;  // guarded by mu_
+
+  /// Service-thread-only state.
+  std::thread service_;
+  std::vector<std::pair<int, Pending>> moved_;  // MoveQueuedToBatcher scratch
+  uint64_t window_oldest_ns_ = kNoDeadline;  // oldest unflushed arrival
+  size_t slo_flushes_ = 0;
+  size_t slo_violations_ = 0;
+  std::function<void(uint64_t)> visibility_probe_;
+
+  std::atomic<size_t> degrade_level_{0};
+  std::atomic<size_t> queued_depth_{0};
+
+  obs::Counter* obs_admitted_ = nullptr;
+  obs::Counter* obs_shed_ = nullptr;
+  obs::Counter* obs_dropped_ = nullptr;
+  obs::Counter* obs_blocks_ = nullptr;
+  obs::Counter* obs_flushes_ = nullptr;
+  obs::Counter* obs_retries_ = nullptr;
+  obs::Counter* obs_degrades_ = nullptr;
+  obs::Histogram* obs_visibility_ns_ = nullptr;
+  uint64_t depth_gauge_token_ = 0;
+  uint64_t level_gauge_token_ = 0;
+};
+
+}  // namespace fivm::ingest
+
+#endif  // FIVM_INGEST_INGEST_SERVICE_H_

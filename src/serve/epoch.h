@@ -48,18 +48,33 @@ class EpochRegistry {
   /// Writer-side: starts a new epoch after a version swap.
   void AdvanceEpoch() { epoch_.fetch_add(1, std::memory_order_seq_cst); }
 
-  /// Claims a free reader slot. Spins (with yield) when all kMaxReaders
-  /// slots hold live snapshots — callers cap reader concurrency below that.
+  /// Returned by TryAcquireSlot when every slot holds a live snapshot.
+  static constexpr uint32_t kNoSlot = kMaxReaders;
+
+  /// One pass over the slot array: claims and returns a free reader slot,
+  /// or returns kNoSlot when the registry is saturated (all kMaxReaders
+  /// slots hold live snapshots). The non-blocking primitive behind both
+  /// AcquireSlot and SnapshotServer::TryAcquire.
+  uint32_t TryAcquireSlot() {
+    for (uint32_t i = 0; i < kMaxReaders; ++i) {
+      uint32_t expect = 0;
+      if (slots_[i].claimed.load(std::memory_order_relaxed) == 0 &&
+          slots_[i].claimed.compare_exchange_strong(
+              expect, 1, std::memory_order_acquire)) {
+        return i;
+      }
+    }
+    return kNoSlot;
+  }
+
+  /// Claims a free reader slot, spinning (with yield) while all kMaxReaders
+  /// slots hold live snapshots. Callers that cannot tolerate waiting for a
+  /// reader to release — or that might saturate the registry themselves —
+  /// use TryAcquireSlot and handle kNoSlot instead of blocking here.
   uint32_t AcquireSlot() {
     for (;;) {
-      for (uint32_t i = 0; i < kMaxReaders; ++i) {
-        uint32_t expect = 0;
-        if (slots_[i].claimed.load(std::memory_order_relaxed) == 0 &&
-            slots_[i].claimed.compare_exchange_strong(
-                expect, 1, std::memory_order_acquire)) {
-          return i;
-        }
-      }
+      uint32_t slot = TryAcquireSlot();
+      if (slot != kNoSlot) return slot;
       std::this_thread::yield();
     }
   }

@@ -1,6 +1,7 @@
 #ifndef FIVM_SERVE_SNAPSHOT_SERVER_H_
 #define FIVM_SERVE_SNAPSHOT_SERVER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -8,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "src/data/relation_ops.h"
 #include "src/obs/metrics.h"
 #include "src/serve/epoch.h"
+#include "src/util/fail_point.h"
 
 namespace fivm::serve {
 
@@ -125,6 +128,7 @@ class SnapshotServer {
     obs_publishes_ = reg.GetCounter("serve.publishes");
     obs_merges_ = reg.GetCounter("serve.merges");
     obs_reclaimed_gens_ = reg.GetCounter("serve.reclaimed_generations");
+    obs_merge_failures_ = reg.GetCounter("serve.merge_failures");
     obs_merge_ns_ = reg.GetHistogram("serve.merge_ns");
     pinned_gauge_token_ = reg.RegisterGauge(
         "serve.pinned_epochs", [this] { return epochs_.PinnedCount(); });
@@ -306,8 +310,11 @@ class SnapshotServer {
 
    private:
     friend class SnapshotServer;
-    explicit Snapshot(const SnapshotServer* server) : server_(server) {
-      slot_ = server_->epochs_.AcquireSlot();
+    explicit Snapshot(const SnapshotServer* server)
+        : Snapshot(server, server->epochs_.AcquireSlot()) {}
+    /// Adopts a pre-claimed epoch slot (TryAcquire path).
+    Snapshot(const SnapshotServer* server, uint32_t slot)
+        : server_(server), slot_(slot) {
       server_->epochs_.Pin(slot_);
       set_ = server_->current_.load(std::memory_order_seq_cst);
     }
@@ -325,8 +332,21 @@ class SnapshotServer {
 
   /// Pins the current version for reading. Lock-free (one slot CAS + the
   /// pin/validate loop); safe from any thread, concurrent with writes and
-  /// merges.
+  /// merges. Spins while all EpochRegistry::kMaxReaders reader slots hold
+  /// live snapshots — callers that may saturate the registry (or cannot
+  /// block) use TryAcquire instead.
   Snapshot Acquire() const { return Snapshot(this); }
+
+  /// Non-blocking Acquire: returns std::nullopt when every reader slot
+  /// holds a live snapshot (the registry is saturated). The caller decides
+  /// the retry policy — back off and retry, shed the read, or release one
+  /// of its own snapshots (acquiring again after a release always succeeds
+  /// eventually, since only live Snapshots hold slots).
+  std::optional<Snapshot> TryAcquire() const {
+    uint32_t slot = epochs_.TryAcquireSlot();
+    if (slot == EpochRegistry::kNoSlot) return std::nullopt;
+    return Snapshot(this, slot);
+  }
 
   /// Freezes every dirty staging relation into a published segment and
   /// swaps in the next VersionSet; returns its sequence number (unchanged
@@ -334,6 +354,12 @@ class SnapshotServer {
   /// ParallelExecutor::SetPostBatchHook, or call explicitly after
   /// ApplyDelta.
   uint64_t Publish() {
+    // Failpoint before any staging relation is frozen: a publish that
+    // throws here changed nothing — staged deltas stay staged, dirty flags
+    // stay set — so the caller retries Publish() as-is, or simply lets the
+    // next publish pick the segments up (visibility is delayed, never
+    // lost or duplicated).
+    FIVM_FAIL_POINT("serve.publish");
     bool any = false;
     for (char d : dirty_) any |= (d != 0);
     if (!any) {
@@ -385,15 +411,34 @@ class SnapshotServer {
 
   /// Runs MergeStep (and reclamation) every `interval` on a background
   /// thread until StopBackgroundMerge or destruction.
+  ///
+  /// The merge body is exception-hardened: a throw out of MergeStep (an
+  /// injected "serve.merge*" fault, a real transient failure) would
+  /// otherwise escape the thread and std::terminate the process. Instead
+  /// the failure is counted (MergeFailureCount, obs serve.merge_failures)
+  /// and the thread retries with exponentially growing sleep, capped at
+  /// max(64×interval, 100ms); a successful pass resets the backoff. A
+  /// failed merge installs nothing (see MergeImpl), so retrying is always
+  /// safe — segments just stay differential a little longer.
   void StartBackgroundMerge(
       std::chrono::milliseconds interval = std::chrono::milliseconds(1)) {
     if (merger_.joinable()) return;
     merger_stop_.store(false, std::memory_order_relaxed);
     merger_ = std::thread([this, interval] {
+      const std::chrono::milliseconds cap =
+          std::max(interval * 64, std::chrono::milliseconds(100));
+      std::chrono::milliseconds sleep = interval;
       while (!merger_stop_.load(std::memory_order_acquire)) {
-        if (MergeStep() == 0) Reclaim();
+        try {
+          if (MergeStep() == 0) Reclaim();
+          sleep = interval;
+        } catch (...) {
+          stats_merge_failures_.fetch_add(1, std::memory_order_relaxed);
+          obs_merge_failures_->Inc();
+          sleep = std::min(sleep * 2, cap);
+        }
         std::unique_lock<std::mutex> lk(merger_mu_);
-        merger_cv_.wait_for(lk, interval, [this] {
+        merger_cv_.wait_for(lk, sleep, [this] {
           return merger_stop_.load(std::memory_order_acquire);
         });
       }
@@ -440,6 +485,10 @@ class SnapshotServer {
   }
   uint64_t MergedKeys() const {
     return stats_merged_keys_.load(std::memory_order_relaxed);
+  }
+  /// Merge passes that threw (and were retried) on the background merger.
+  uint64_t MergeFailureCount() const {
+    return stats_merge_failures_.load(std::memory_order_relaxed);
   }
   uint64_t ReclaimedVersions() const {
     return stats_reclaimed_versions_.load(std::memory_order_relaxed);
@@ -517,10 +566,15 @@ class SnapshotServer {
     // One merger at a time: segment-list prefixes below are only stable
     // when no other merge can install between the fold and the install.
     std::lock_guard<std::mutex> merge_lk(merge_mu_);
+    // Failpoint at merge start: nothing folded, nothing installed. An
+    // aborted merge leaves the version chain untouched; segments simply
+    // wait for the next pass.
+    FIVM_FAIL_POINT("serve.merge");
     Snapshot snap = Acquire();  // pins the fold's working set
     size_t merged = 0;
     std::vector<std::pair<size_t, RelPtr>> built;   // store slot -> new base
     std::vector<size_t> folded_segments;
+    std::vector<size_t> folded_keys;
     for (size_t i = 0; i < nodes_.size(); ++i) {
       const StoreVersion& sv = snap.set_->stores[i];
       if (sv.segments.empty()) continue;
@@ -539,7 +593,7 @@ class SnapshotServer {
       Rel diff(sv.base->schema());
       diff.Reserve(diff_keys);
       for (const RelPtr& s : sv.segments) AbsorbInto(diff, *s);
-      stats_merged_keys_.fetch_add(diff.size(), std::memory_order_relaxed);
+      folded_keys.push_back(diff.size());
       Rel next_base(*sv.base, diff.size());
       if (policy_.clustered_absorb) {
         AbsorbIntoClustered(next_base, std::move(diff));
@@ -551,6 +605,12 @@ class SnapshotServer {
       ++merged;
     }
     if (built.empty()) return 0;
+    // Failpoint between fold and install: the built generations unwind
+    // (their deleters fire) and no set was swapped — an injected abort
+    // here wastes the fold's work but cannot corrupt the version chain.
+    // Stats are counted past this point so an aborted merge reports
+    // nothing as merged.
+    FIVM_FAIL_POINT("serve.merge.install");
     std::lock_guard<std::mutex> lk(mu_);
     const VersionSet* latest = current_.load(std::memory_order_relaxed);
     auto* next = new VersionSet(*latest);
@@ -567,6 +627,7 @@ class SnapshotServer {
               static_cast<std::ptrdiff_t>(folded_segments[b]));
       sv.base = std::move(built[b].second);
       ++sv.base_gen;
+      stats_merged_keys_.fetch_add(folded_keys[b], std::memory_order_relaxed);
     }
     InstallLocked(next);
     stats_merges_.fetch_add(merged, std::memory_order_relaxed);
@@ -601,6 +662,7 @@ class SnapshotServer {
   std::atomic<uint64_t> stats_publishes_{0};
   std::atomic<uint64_t> stats_merges_{0};
   std::atomic<uint64_t> stats_merged_keys_{0};
+  std::atomic<uint64_t> stats_merge_failures_{0};
   std::atomic<uint64_t> stats_reclaimed_versions_{0};
   std::shared_ptr<std::atomic<uint64_t>> reclaimed_generations_ =
       std::make_shared<std::atomic<uint64_t>>(0);
@@ -613,6 +675,7 @@ class SnapshotServer {
   obs::Counter* obs_publishes_ = nullptr;
   obs::Counter* obs_merges_ = nullptr;
   obs::Counter* obs_reclaimed_gens_ = nullptr;
+  obs::Counter* obs_merge_failures_ = nullptr;
   obs::Histogram* obs_merge_ns_ = nullptr;
   uint64_t pinned_gauge_token_ = 0;
   uint64_t segments_gauge_token_ = 0;

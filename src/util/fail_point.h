@@ -1,0 +1,119 @@
+// Deterministic, seeded fault-injection registry.
+//
+// A *failpoint* is a named site in the code (e.g. "serve.publish") that can be
+// armed to throw util::InjectedFault on a deterministic, seeded schedule.  The
+// ingest/serve robustness tests use this to drive chaos sweeps: arm every site
+// with a per-seed probability, run a workload, and check engine/serving
+// consistency after every injected fault.
+//
+// Design goals:
+//   * Zero cost when nothing is armed: the FIVM_FAIL_POINT macro checks one
+//     relaxed atomic and only enters the registry when at least one site is
+//     armed.  Production builds can additionally compile all sites out with
+//     -DFIVM_FAILPOINTS=OFF (CMake option), which defines FIVM_FAILPOINTS_OFF.
+//   * Determinism: each site draws from its own splitmix64 stream seeded from
+//     hash(site) ^ seed, so a given (site, seed) pair always produces the same
+//     fire/no-fire sequence regardless of which other sites are armed.  Under
+//     concurrency the per-site draw sequence is still fixed; only which thread
+//     consumes which draw depends on scheduling.
+//   * Env arming for chaos CI: FIVM_FAILPOINTS="serve.publish=0.1,exec.task=0.05"
+//     (or "*=0.1" for every site) plus FIVM_FAILPOINT_SEED=<n> arms sites at
+//     process start without code changes.
+//
+// Modes per site:
+//   Arm(site, p, seed[, max_fires])  - fire each evaluation with probability p,
+//                                      at most max_fires times (0 = unlimited).
+//   ArmNth(site, n)                  - fire on exactly the n-th evaluation
+//                                      (1-based); used to target e.g. "the
+//                                      first worker task of a batch".
+#ifndef FIVM_UTIL_FAIL_POINT_H_
+#define FIVM_UTIL_FAIL_POINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fivm::util {
+
+// Exception thrown by an armed failpoint.  Supervisors treat it like any other
+// transient failure; tests catch it specifically to distinguish injected
+// faults from real bugs.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : std::runtime_error("injected fault at " + site), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+struct FailPointStats {
+  uint64_t evaluations = 0;
+  uint64_t fires = 0;
+};
+
+class FailPointRegistry {
+ public:
+  // Process-wide registry.  First call parses FIVM_FAILPOINTS /
+  // FIVM_FAILPOINT_SEED from the environment.
+  static FailPointRegistry& Default();
+
+  // Probability mode.  p is clamped to [0,1]; max_fires==0 means unlimited.
+  void Arm(const std::string& site, double probability, uint64_t seed,
+           uint64_t max_fires = 0);
+  // Wildcard: every site evaluated while armed draws from its own stream
+  // seeded with `seed`.
+  void ArmAll(double probability, uint64_t seed, uint64_t max_fires = 0);
+  // Fire on exactly the nth evaluation of `site` (1-based), once.
+  void ArmNth(const std::string& site, uint64_t nth);
+
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  FailPointStats Stats(const std::string& site) const;
+  uint64_t TotalFires() const;
+  uint64_t TotalEvaluations() const;
+
+  // Parse an arming spec of the form "site=prob[,site=prob...]" where site may
+  // be "*".  Used for the FIVM_FAILPOINTS env var; exposed for tests.
+  // Returns false on a malformed spec (registry state is unchanged for the
+  // malformed entry; well-formed entries before it are applied).
+  bool ConfigureFromSpec(const std::string& spec, uint64_t seed);
+
+  // Evaluate `site`; throws InjectedFault when the site's schedule fires.
+  // Called via the FIVM_FAIL_POINT macro only when at least one site is armed.
+  void MaybeFail(const char* site);
+
+  FailPointRegistry(const FailPointRegistry&) = delete;
+  FailPointRegistry& operator=(const FailPointRegistry&) = delete;
+
+ private:
+  FailPointRegistry();
+  ~FailPointRegistry();
+  struct Impl;
+  Impl* impl_;
+};
+
+// True when at least one site (or the wildcard) is armed.  Cheap: one relaxed
+// atomic load; kept outside the registry so the hot-path macro does not pay
+// for the Default() init check.
+bool FailPointsArmed();
+
+}  // namespace fivm::util
+
+#if defined(FIVM_FAILPOINTS_OFF)
+#define FIVM_FAIL_POINT(site) \
+  do {                        \
+  } while (0)
+#else
+#define FIVM_FAIL_POINT(site)                                      \
+  do {                                                             \
+    if (::fivm::util::FailPointsArmed()) [[unlikely]] {            \
+      ::fivm::util::FailPointRegistry::Default().MaybeFail(site);  \
+    }                                                              \
+  } while (0)
+#endif
+
+#endif  // FIVM_UTIL_FAIL_POINT_H_

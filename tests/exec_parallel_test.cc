@@ -24,6 +24,7 @@
 #include "src/ml/cofactor.h"
 #include "src/rings/regression_ring.h"
 #include "src/rings/ring.h"
+#include "src/util/fail_point.h"
 #include "src/util/rng.h"
 #include "src/workloads/twitter.h"
 
@@ -308,6 +309,78 @@ TEST(ExecParallelTest, PropagationJoinKeyAndPrewarmCoverTrianglePath) {
     engine.PrewarmPropagationIndexes(r);
   }
 }
+
+#if !defined(FIVM_FAILPOINTS_OFF)
+TEST(ExecParallelTest, ShardTaskExceptionLeavesStoresUntouched) {
+  // Exception propagation mid-batch: one worker task of a parallel
+  // ApplyBatch throws (injected at the "exec.task" boundary). ThreadPool
+  // rethrows only after the round's barrier, and every store delta — the
+  // leaf's included — is staged until all tasks succeed, so the batch must
+  // be all-or-nothing: engine stores bit-identical to before the failed
+  // apply, and a retry of the same batch must land exactly the sequential
+  // result (no partial merge, no double apply).
+  AcyclicFixture f;
+  ViewTree tree(&f.query, &f.vo);
+  tree.MaterializeAll();
+  IvmEngine<I64Ring> reference(&tree, {});
+  IvmEngine<I64Ring> engine(&tree, {});
+  Database<I64Ring> empty = MakeDatabase<I64Ring>(f.query);
+  reference.Initialize(empty);
+  engine.Initialize(empty);
+
+  // Base fill through both engines (no faults armed).
+  auto base = RandomStream(f.query, 1000, 12, /*seed=*/91);
+  ThreadPool pool(4);
+  ParallelExecutor<I64Ring> exec(&engine, &pool, {.shards = 4});
+  DeltaBatcher<I64Ring> batcher(&engine.plans(), 256);
+  for (const Update& u : base) {
+    Relation<I64Ring> delta(f.query.relation(u.relation).schema);
+    delta.Add(u.key,
+              u.multiplicity > 0 ? I64Ring::One() : I64Ring::Neg(I64Ring::One()));
+    reference.ApplyDelta(u.relation, delta);
+    batcher.Push(u.relation, u.key, u.multiplicity);
+    if (batcher.Full()) exec.Drain(batcher);
+  }
+  exec.Drain(batcher);
+  ASSERT_TRUE(StoresContentEqual(reference, engine));
+
+  // A batch wide enough for the parallel path (>= kMinParallelKeys
+  // distinct keys across all 4 shards).
+  Relation<I64Ring> batch(f.query.relation(0).schema);
+  for (int64_t i = 0; i < 200; ++i) {
+    Tuple t;
+    t.Append(Value::Int(i % 15));
+    t.Append(Value::Int(i));
+    batch.Add(t, 1);
+  }
+  ASSERT_GE(batch.size(), ParallelExecutor<I64Ring>::kMinParallelKeys);
+
+  // Pre-fault snapshot of every materialized store.
+  std::vector<std::pair<int, Relation<I64Ring>>> before;
+  for (size_t i = 0; i < tree.nodes().size(); ++i) {
+    int node = static_cast<int>(i);
+    if (!tree.node(node).materialized) continue;
+    before.emplace_back(node, Relation<I64Ring>(engine.store(node)));
+  }
+
+  auto& fp = util::FailPointRegistry::Default();
+  fp.ArmNth("exec.task", 1);  // first worker task of the next batch throws
+  EXPECT_THROW(exec.ApplyBatch(0, Relation<I64Ring>(batch)),
+               util::InjectedFault);
+  fp.DisarmAll();
+  EXPECT_EQ(fp.Stats("exec.task").fires, 1u);
+
+  for (const auto& [node, rel] : before) {
+    EXPECT_TRUE(ContentEquals(engine.store(node), rel))
+        << "store " << node << " modified by a failed batch";
+  }
+
+  // Retrying the batch applies it exactly once, matching sequential.
+  exec.ApplyBatch(0, Relation<I64Ring>(batch));
+  reference.ApplyDelta(0, batch);
+  EXPECT_TRUE(StoresContentEqual(reference, engine));
+}
+#endif  // !FIVM_FAILPOINTS_OFF
 
 }  // namespace
 }  // namespace fivm::exec

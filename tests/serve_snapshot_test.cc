@@ -19,7 +19,9 @@
 #include "src/exec/parallel_executor.h"
 #include "src/exec/thread_pool.h"
 #include "src/rings/ring.h"
+#include "src/serve/epoch.h"
 #include "src/serve/snapshot_server.h"
+#include "src/util/fail_point.h"
 #include "src/util/rng.h"
 
 namespace fivm::serve {
@@ -452,6 +454,132 @@ TEST(SnapshotServerTest, BackgroundMergerFoldsWhilePublishing) {
   EXPECT_EQ(snap.segment_count(), 0u);
   EXPECT_TRUE(ContentEquals(snap.Materialize(), f.engine->result()));
 }
+
+TEST(SnapshotServerTest, TryAcquireReportsReaderSlotSaturation) {
+  // Saturate the epoch registry: hold kMaxReaders live snapshots. The 65th
+  // acquisition must fail cleanly via TryAcquire (Acquire would spin until
+  // a reader releases), and releasing any one snapshot frees a slot.
+  Fixture f;
+  f.Apply(0, {{1, 10}});
+  f.Apply(1, {{10, 5}});
+  Server server(&*f.engine);
+
+  std::vector<Server::Snapshot> held;
+  held.reserve(EpochRegistry::kMaxReaders);
+  for (uint32_t i = 0; i < EpochRegistry::kMaxReaders; ++i) {
+    auto snap = server.TryAcquire();
+    ASSERT_TRUE(snap.has_value()) << "slot " << i;
+    held.push_back(std::move(*snap));
+  }
+  EXPECT_EQ(server.PinnedCount(),
+            static_cast<int64_t>(EpochRegistry::kMaxReaders));
+  EXPECT_FALSE(server.TryAcquire().has_value());
+
+  // Saturated snapshots still read consistently.
+  EXPECT_EQ(LookupCount(held.back(), 1), 1);
+
+  held.pop_back();  // release one slot
+  auto snap = server.TryAcquire();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(LookupCount(*snap, 1), 1);
+}
+
+TEST(EpochRegistryTest, TryAcquireSlotReturnsSentinelWhenSaturated) {
+  EpochRegistry reg;
+  for (uint32_t i = 0; i < EpochRegistry::kMaxReaders; ++i) {
+    ASSERT_NE(reg.TryAcquireSlot(), EpochRegistry::kNoSlot);
+  }
+  EXPECT_EQ(reg.TryAcquireSlot(), EpochRegistry::kNoSlot);
+  reg.ReleaseSlot(7);
+  EXPECT_EQ(reg.TryAcquireSlot(), 7u);  // the freed slot is reclaimed
+  EXPECT_EQ(reg.TryAcquireSlot(), EpochRegistry::kNoSlot);
+}
+
+#if !defined(FIVM_FAILPOINTS_OFF)
+TEST(SnapshotServerTest, BackgroundMergerSurvivesInjectedMergeFaults) {
+  // Satellite: exceptions escaping StartBackgroundMerge's thread used to
+  // std::terminate the process. With "serve.merge" armed to fire its first
+  // 3 evaluations, the merger must count 3 failures, back off, retry, and
+  // eventually fold the segments; the version chain stays consistent
+  // throughout.
+  Fixture f;
+  Server server(&*f.engine, MergePolicy{.max_segments = 1, .max_diff_keys = 1});
+
+  auto& fp = util::FailPointRegistry::Default();
+  fp.Arm("serve.merge", 1.0, /*seed=*/11, /*max_fires=*/3);
+  server.StartBackgroundMerge(std::chrono::milliseconds(1));
+
+  f.Apply(0, {{1, 10}, {2, 20}});
+  f.Apply(1, {{10, 5}, {20, 6}});
+  server.Publish();
+
+  // Wait (bounded) for the merger to burn through the injected faults and
+  // then complete a real merge.
+  for (int i = 0; i < 4000 && server.MergeCount() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.StopBackgroundMerge();
+  fp.DisarmAll();
+
+  EXPECT_EQ(server.MergeFailureCount(), 3u);
+  EXPECT_GE(server.MergeCount(), 1u);
+  auto snap = server.Acquire();
+  EXPECT_TRUE(ContentEquals(snap.Materialize(), f.engine->result()));
+  EXPECT_EQ(snap.segment_count(), 0u);  // the retried merge folded them
+}
+
+TEST(SnapshotServerTest, FailedPublishLeavesStagingRetryable) {
+  // A publish that throws (failpoint at entry) must leave staged segments
+  // intact: the retry publishes exactly once, with nothing lost or
+  // duplicated.
+  Fixture f;
+  Server server(&*f.engine);
+  f.Apply(0, {{1, 10}});
+  f.Apply(1, {{10, 5}});
+
+  auto& fp = util::FailPointRegistry::Default();
+  fp.Arm("serve.publish", 1.0, /*seed=*/5, /*max_fires=*/1);
+  EXPECT_THROW(server.Publish(), util::InjectedFault);
+  fp.DisarmAll();
+  {
+    auto snap = server.Acquire();
+    EXPECT_EQ(snap.seq(), 0u);  // failed publish changed nothing
+    EXPECT_EQ(LookupCount(snap, 1), 0);
+  }
+  EXPECT_EQ(server.Publish(), 1u);
+  auto snap = server.Acquire();
+  EXPECT_EQ(LookupCount(snap, 1), 1);
+  EXPECT_TRUE(ContentEquals(snap.Materialize(), f.engine->result()));
+}
+
+TEST(SnapshotServerTest, AbortedMergeInstallKeepsVersionChainConsistent) {
+  // "serve.merge.install" aborts the merge between fold and install: the
+  // built generation must unwind without corrupting the chain, and a
+  // subsequent merge retry folds the same segments successfully.
+  Fixture f;
+  Server server(&*f.engine);
+  f.Apply(0, {{1, 10}, {2, 20}});
+  f.Apply(1, {{10, 5}, {20, 6}});
+  server.Publish();
+
+  auto& fp = util::FailPointRegistry::Default();
+  fp.Arm("serve.merge.install", 1.0, /*seed=*/6, /*max_fires=*/1);
+  EXPECT_THROW(server.MergeNow(), util::InjectedFault);
+  fp.DisarmAll();
+  EXPECT_EQ(server.MergeCount(), 0u);
+  EXPECT_EQ(server.MergedKeys(), 0u);  // aborted merges count nothing
+  {
+    auto snap = server.Acquire();
+    EXPECT_EQ(snap.segment_count(), 1u);  // segments still differential
+    EXPECT_TRUE(ContentEquals(snap.Materialize(), f.engine->result()));
+  }
+  EXPECT_EQ(server.MergeNow(), 1u);
+  auto snap = server.Acquire();
+  EXPECT_EQ(snap.segment_count(), 0u);
+  EXPECT_EQ(snap.base_gen(), 1u);
+  EXPECT_TRUE(ContentEquals(snap.Materialize(), f.engine->result()));
+}
+#endif  // !FIVM_FAILPOINTS_OFF
 
 }  // namespace
 }  // namespace fivm::serve
