@@ -42,6 +42,20 @@ VERIFY_ROW = re.compile(r"^VERIFY (\S+): .* (==|!=) ")
 LATENCY_ROW = re.compile(
     r"^LATENCY (\S.*?)\s+unit=(\S+) p50=([0-9.]+)us p99=([0-9.]+)us "
     r"p999=([0-9.]+)us max=([0-9.]+)us n=(\d+)")
+# bench_ingest durability summary lines (PR10):
+#   DURABILITY ingest_wal: on/off rate ratio 0.84 (floor 0.80), wal_appended=...
+#   CHECKPOINT ingest_wal_ckpt: checkpoints=1 ckpt_failures=0 wall=0.161s
+#   RECOVERY ingest_recovery: ckpt_loaded=1 ckpt_lsn=8 ... wall=0.046s
+DURABILITY_ROW = re.compile(
+    r"^DURABILITY (\S+): on/off rate ratio ([0-9.]+) \(floor ([0-9.]+)\), "
+    r"wal_appended=(\d+) failed_windows=(\d+) checkpoints=(\d+) "
+    r"ckpt_failures=(\d+)")
+CHECKPOINT_ROW = re.compile(
+    r"^CHECKPOINT (\S+): checkpoints=(\d+) ckpt_failures=(\d+) "
+    r"wall=([0-9.]+)s")
+RECOVERY_ROW = re.compile(
+    r"^RECOVERY (\S+): ckpt_loaded=(\d+) ckpt_lsn=(\d+) frames_replayed=(\d+) "
+    r"updates_replayed=(\d+) update_count=(\d+) wall=([0-9.]+)s")
 
 
 def parse_series(path):
@@ -90,6 +104,36 @@ def parse_series(path):
             if m:
                 out["VERIFY " + m.group(1)] = {
                     "stores_equal": m.group(2) == "==",
+                }
+                continue
+            m = DURABILITY_ROW.match(line)
+            if m:
+                out["DURABILITY " + m.group(1)] = {
+                    "on_off_rate_ratio": float(m.group(2)),
+                    "floor": float(m.group(3)),
+                    "wal_appended": int(m.group(4)),
+                    "failed_windows": int(m.group(5)),
+                    "checkpoints": int(m.group(6)),
+                    "ckpt_failures": int(m.group(7)),
+                }
+                continue
+            m = CHECKPOINT_ROW.match(line)
+            if m:
+                out["CHECKPOINT " + m.group(1)] = {
+                    "checkpoints": int(m.group(2)),
+                    "ckpt_failures": int(m.group(3)),
+                    "wall_sec": float(m.group(4)),
+                }
+                continue
+            m = RECOVERY_ROW.match(line)
+            if m:
+                out["RECOVERY " + m.group(1)] = {
+                    "checkpoint_loaded": m.group(2) == "1",
+                    "checkpoint_lsn": int(m.group(3)),
+                    "frames_replayed": int(m.group(4)),
+                    "updates_replayed": int(m.group(5)),
+                    "update_count": int(m.group(6)),
+                    "wall_sec": float(m.group(7)),
                 }
     return out
 

@@ -16,10 +16,15 @@
 # writer user-cpu ratio, and the merge-fold ordered-vs-arrival A/B);
 # PR9 adds bench_ingest (the streaming ingest service: calibrated rate
 # sweep at 0.5x/0.8x/2.0x of sustainable with ShedNewest admission,
-# visibility percentiles, and admission/degradation counters).
+# visibility percentiles, and admission/degradation counters);
+# PR10 extends bench_ingest with the durability arms: interleaved
+# best-of-N WAL-on (window durability, group fsync) vs WAL-off ratio
+# (DURABILITY row, floor 0.80), a checkpointed durable arm (CHECKPOINT
+# row), and the cold-recovery row (ingest_recovery: newest checkpoint +
+# WAL-suffix replay wall time).
 # Knobs (all optional):
-#   FIVM_BENCH_LABEL      result key in the JSON (default: pr9)
-#   FIVM_BENCH_OUT        output JSON path (default: <repo>/BENCH_PR9.json)
+#   FIVM_BENCH_LABEL      result key in the JSON (default: pr10)
+#   FIVM_BENCH_OUT        output JSON path (default: <repo>/BENCH_PR10.json)
 #   FIVM_BENCH_BUILD_DIR  build tree (default: <repo>/build-bench)
 #   FIVM_BENCH_SCALE      dataset scale for the figure harnesses (default 1)
 #   FIVM_BENCH_BUDGET_SEC per-strategy budget in seconds (default 20)
@@ -27,8 +32,8 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${FIVM_BENCH_BUILD_DIR:-$ROOT/build-bench}"
-OUT="${FIVM_BENCH_OUT:-$ROOT/BENCH_PR9.json}"
-LABEL="${FIVM_BENCH_LABEL:-pr9}"
+OUT="${FIVM_BENCH_OUT:-$ROOT/BENCH_PR10.json}"
+LABEL="${FIVM_BENCH_LABEL:-pr10}"
 export FIVM_BENCH_SCALE="${FIVM_BENCH_SCALE:-1}"
 export FIVM_BENCH_BUDGET_SEC="${FIVM_BENCH_BUDGET_SEC:-20}"
 

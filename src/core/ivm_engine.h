@@ -119,6 +119,15 @@ class IvmEngine {
     EvalOut(tree_->root(), db);
   }
 
+  /// Durability hook: overwrites the store of `node` with recovered
+  /// checkpoint contents. Like Initialize this bypasses the store-delta
+  /// observer (an attached SnapshotServer must Rebase() afterwards); the
+  /// caller (durability::LoadNewestCheckpoint) has already validated that
+  /// the image's schema matches this node's store schema.
+  void RestoreStore(int node, Relation<Ring>&& contents) {
+    stores_[static_cast<size_t>(node)] = std::move(contents);
+  }
+
   /// Applies an update δR to relation `relation` (Figure 4 delta tree):
   /// propagates delta views leaf-to-root and refreshes every materialized
   /// store on the path, then propagates any indicator deltas sequentially.

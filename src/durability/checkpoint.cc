@@ -1,0 +1,154 @@
+#include "src/durability/checkpoint.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/util/fail_point.h"
+
+namespace fivm::durability {
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void WriteAll(int fd, const uint8_t* p, size_t n, const std::string& what) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("ckpt: write " + what);
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& dir, uint64_t lsn) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "ckpt-%020llu.ckpt",
+                static_cast<unsigned long long>(lsn));
+  return dir + "/" + name;
+}
+
+std::vector<CheckpointMeta> ListCheckpoints(const std::string& dir) {
+  std::vector<CheckpointMeta> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.size() > 10 && name.rfind("ckpt-", 0) == 0 &&
+        name.compare(name.size() - 5, 5, ".ckpt") == 0) {
+      CheckpointMeta m;
+      m.lsn = std::strtoull(name.c_str() + 5, nullptr, 10);
+      m.path = dir + "/" + name;
+      out.push_back(std::move(m));
+    }
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end(),
+            [](const CheckpointMeta& a, const CheckpointMeta& b) {
+              return a.lsn < b.lsn;
+            });
+  return out;
+}
+
+void InstallCheckpointBytes(const std::string& dir, uint64_t lsn,
+                            const std::vector<uint8_t>& bytes) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    ThrowErrno("ckpt: mkdir " + dir);
+  }
+  const std::string final_path = CheckpointPath(dir, lsn);
+  const std::string tmp_path = final_path + ".tmp";
+  int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) ThrowErrno("ckpt: create " + tmp_path);
+  try {
+    // The image is written in two halves with the "ckpt.write" site between
+    // them: a kill there leaves a partial .tmp (never visible to the
+    // loader), an injected throw unwinds to the unlink below.
+    const size_t half = bytes.size() / 2;
+    WriteAll(fd, bytes.data(), half, tmp_path);
+    FIVM_FAIL_POINT("ckpt.write");
+    WriteAll(fd, bytes.data() + half, bytes.size() - half, tmp_path);
+    if (::fsync(fd) != 0) ThrowErrno("ckpt: fsync " + tmp_path);
+    ::close(fd);
+    fd = -1;
+    // A kill here leaves a complete but uninstalled .tmp; the loader never
+    // reads .tmp files and the next GC pass collects it.
+    FIVM_FAIL_POINT("ckpt.rename");
+    if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+      ThrowErrno("ckpt: rename " + tmp_path);
+    }
+  } catch (...) {
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp_path.c_str());
+    throw;
+  }
+  SyncDir(dir);
+}
+
+bool ReadCheckpointBytes(const std::string& path, std::vector<uint8_t>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  std::vector<uint8_t> buf;
+  uint8_t chunk[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  if (buf.size() < 28 + 4) return false;
+  uint32_t magic, version, stored_crc;
+  std::memcpy(&magic, buf.data(), 4);
+  std::memcpy(&version, buf.data() + 4, 4);
+  std::memcpy(&stored_crc, buf.data() + buf.size() - 4, 4);
+  if (magic != kCkptMagic || version != kCkptVersion) return false;
+  if (util::Crc32c(buf.data(), buf.size() - 4) != stored_crc) return false;
+  *out = std::move(buf);
+  return true;
+}
+
+void RemoveOldCheckpoints(const std::string& dir, size_t keep) {
+  std::vector<CheckpointMeta> all = ListCheckpoints(dir);
+  for (size_t i = 0; i + keep < all.size(); ++i) {
+    ::unlink(all[i].path.c_str());
+  }
+  // Stray temp files from crashed installs.
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> tmps;
+  while (dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0 &&
+        name.rfind("ckpt-", 0) == 0) {
+      tmps.push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  for (const std::string& t : tmps) ::unlink(t.c_str());
+}
+
+}  // namespace fivm::durability

@@ -35,6 +35,20 @@
 //  * Clean shutdown: Stop() stops admission, drains every queued update
 //    through flush→apply→publish, then joins the service thread. With
 //    kBlock admission nothing offered before Stop() is lost.
+//  * Durability (optional): AttachDurability() wires a write-ahead log and
+//    checkpointer into the loop. Under DurabilityPolicy::kWindow every
+//    update entering the batcher is also staged into the WAL, and the
+//    window's frames are sealed + group-fsync'd BEFORE the flush touches
+//    any store — a crash mid-apply replays the whole window from the log.
+//    If the seal cannot complete (e.g. disk full, modeled by the
+//    "wal.append" failpoint) the window is shed wholesale: WAL staging and
+//    batcher accumulators are discarded together, counted in
+//    wal_failed_windows — degraded ingest, never an unlogged apply. kStrict
+//    logs and fsyncs each update inside Offer() before admission completes
+//    (one frame per update; pair it with kBlock/kShedNewest — kDropOldest
+//    can evict an already-logged update, which recovery would then
+//    resurrect). Checkpoints run between flush windows every
+//    checkpoint_every_flushes flushes, when sealed == applied holds.
 //
 // Threading: any number of producer threads may Offer() concurrently; the
 // single service thread owns batcher/executor/server (the engine write path
@@ -58,6 +72,8 @@
 #include <vector>
 
 #include "src/core/ivm_engine.h"
+#include "src/durability/checkpoint.h"
+#include "src/durability/wal.h"
 #include "src/exec/delta_batcher.h"
 #include "src/exec/parallel_executor.h"
 #include "src/obs/metrics.h"
@@ -77,6 +93,13 @@ struct QueuePolicy {
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
   /// Maximum queued (admitted, not yet batched) updates for the relation.
   size_t capacity = 8192;
+};
+
+/// When (relative to admission/apply) updates reach the write-ahead log.
+enum class DurabilityPolicy {
+  kOff,     // no logging (AttachDurability not required)
+  kWindow,  // log at batcher entry, seal + group-fsync before each apply
+  kStrict,  // log + fsync each update inside Offer(), before admission
 };
 
 struct ServiceOptions {
@@ -107,6 +130,13 @@ struct ServiceOptions {
   /// Admission policy applied to every relation unless overridden via
   /// SetQueuePolicy.
   QueuePolicy default_queue;
+  /// Write-ahead logging mode; anything but kOff requires
+  /// AttachDurability() before Start()/PumpOnce().
+  DurabilityPolicy durability = DurabilityPolicy::kOff;
+  /// Checkpoint after every N flush windows (0 disables automatic
+  /// checkpoints). A failed checkpoint is counted and retried at the next
+  /// flush boundary.
+  size_t checkpoint_every_flushes = 0;
 };
 
 /// Counters mirrored into the obs registry as ingest.*; these live in every
@@ -131,6 +161,14 @@ struct IngestStats {
   uint64_t failed_flushes = 0;
   uint64_t degrade_enters = 0;
   uint64_t degrade_exits = 0;
+  uint64_t wal_appended = 0;       // updates staged into the WAL
+  uint64_t wal_retries = 0;        // window-mode seal retries
+  /// Windows (strict: single updates) shed because the WAL could not seal
+  /// them within the retry budget — degraded ingest, never an unlogged
+  /// apply (disk-full behaves like sustained shedding, not corruption).
+  uint64_t wal_failed_windows = 0;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_failures = 0;  // absorbed; retried next boundary
 };
 
 template <typename Ring>
@@ -165,6 +203,9 @@ class IngestService {
     obs_flushes_ = reg.GetCounter("ingest.flushes");
     obs_retries_ = reg.GetCounter("ingest.retries");
     obs_degrades_ = reg.GetCounter("ingest.degrade_transitions");
+    obs_wal_appended_ = reg.GetCounter("ingest.wal_appended");
+    obs_wal_failed_ = reg.GetCounter("ingest.wal_failed_windows");
+    obs_checkpoints_ = reg.GetCounter("ingest.checkpoints");
     obs_visibility_ns_ = reg.GetHistogram("ingest.visibility_ns");
     depth_gauge_token_ = reg.RegisterGauge("ingest.queue_depth", [this] {
       return static_cast<int64_t>(queued_depth_.load(std::memory_order_relaxed));
@@ -189,6 +230,17 @@ class IngestService {
   /// Per-relation admission override; call before producers start.
   void SetQueuePolicy(int relation, QueuePolicy policy) {
     queues_[static_cast<size_t>(relation)].policy = policy;
+  }
+
+  /// Wires the durability layer in; call before Start()/PumpOnce() and keep
+  /// both pointees alive for the service's lifetime. `ckpt` may be null
+  /// (WAL-only durability: recovery replays the whole log). The WAL is
+  /// driven from the service thread under kWindow and from inside Offer()
+  /// (under the admission lock) under kStrict — never both.
+  void AttachDurability(durability::WalWriter* wal,
+                        durability::Checkpointer<Ring>* ckpt) {
+    wal_ = wal;
+    ckpt_ = ckpt;
   }
 
   /// Admits one update (any thread). Returns false when the update was shed:
@@ -228,6 +280,24 @@ class IngestService {
             return false;
           }
           continue;
+      }
+    }
+    if (opts_.durability == DurabilityPolicy::kStrict && wal_ != nullptr) {
+      // Log-at-admission: the update is durable (frame written + fsync'd)
+      // before Offer() acknowledges it. Single attempt — mu_ is held, so
+      // the retry/backoff machinery (which takes mu_) cannot run; a WAL
+      // failure sheds this one update instead.
+      try {
+        wal_->Append<Ring>(relation, key, payload);
+        wal_->Seal(/*sync=*/true);
+        stats_.wal_appended += 1;
+        obs_wal_appended_->Inc();
+      } catch (const std::exception&) {
+        wal_->DropPending();
+        stats_.wal_failed_windows += 1;
+        obs_wal_failed_->Inc();
+        Shed(1);
+        return false;
       }
     }
     rq.q.push_back(Pending{key, std::move(payload), now});
@@ -438,9 +508,21 @@ class IngestService {
       queued_depth_.store(queued_total_, std::memory_order_relaxed);
     }
     if (!moved_.empty()) space_cv_.notify_all();
+    const bool log_window = opts_.durability == DurabilityPolicy::kWindow &&
+                            wal_ != nullptr;
     for (auto& [rel, p] : moved_) {
       window_oldest_ns_ = std::min(window_oldest_ns_, p.arrival_ns);
+      // Window-mode logging happens here — at batcher entry — so the WAL's
+      // staged frames cover exactly the updates the next seal/flush pair
+      // makes durable and applied.
+      if (log_window) wal_->template Append<Ring>(rel, p.key, p.payload);
       batcher_->Push(rel, std::move(p.key), std::move(p.payload));
+    }
+    if (log_window && !moved_.empty()) {
+      const uint64_t n = moved_.size();
+      obs_wal_appended_->Add(n);
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.wal_appended += n;
     }
     moved_.clear();
   }
@@ -450,9 +532,39 @@ class IngestService {
   void FlushWindow(FlushTrigger trigger) {
     const uint64_t window_oldest = window_oldest_ns_;
     window_oldest_ns_ = kNoDeadline;
-    auto batches = SupervisedFlush();
-    for (auto& b : batches) {
-      SupervisedApply(b.relation, std::move(b.delta));
+    bool sealed = false;
+    if (opts_.durability == DurabilityPolicy::kWindow && wal_ != nullptr &&
+        wal_->HasPending()) {
+      // Write-ahead: the window's frames hit the disk (one group fsync)
+      // before any delta touches a store. A seal that cannot complete sheds
+      // the whole window — WAL staging and batcher accumulators dropped
+      // together, so nothing is ever applied unlogged. (If the failure
+      // struck after some frames were written, recovery may replay a
+      // superset of what the live engine applied — over-delivery, never a
+      // logged-but-lost update.)
+      if (!SupervisedSeal()) {
+        wal_->DropPending();
+        batcher_->Flush();  // discard the undurable window
+        std::lock_guard<std::mutex> lk(mu_);
+        stats_.wal_failed_windows += 1;
+        obs_wal_failed_->Inc();
+        return;
+      }
+      sealed = true;
+    }
+    std::vector<typename exec::DeltaBatcher<Ring>::Batch> batches;
+    try {
+      batches = SupervisedFlush();
+      for (auto& b : batches) {
+        SupervisedApply(b.relation, std::move(b.delta));
+      }
+    } catch (...) {
+      // Retry budget exhausted after a successful seal: the WAL is now
+      // ahead of the engine, so a checkpoint stamped at the sealed LSN
+      // would misrepresent the stores. Recovery-by-replay stays correct
+      // (and even restores this lost window); just stop checkpointing.
+      if (sealed) wal_ahead_of_engine_ = true;
+      throw;
     }
     // Visibility is stamped here: every update in the window is applied and
     // published (readers see it). The merge below is compaction, not
@@ -479,6 +591,65 @@ class IngestService {
     }
     obs_flushes_->Inc();
     UpdateDegradation(vis_ns);
+    MaybeCheckpoint();
+  }
+
+  /// Checkpoint between flush windows, every checkpoint_every_flushes
+  /// flushes. Window mode: sealed == applied holds right here (the window
+  /// just sealed was just applied), no locking needed beyond service-thread
+  /// ownership. Strict mode: Offer() seals ahead of apply, so the image is
+  /// only valid when nothing is in flight — taken under mu_ (blocking
+  /// producers for the duration) with empty queues and an empty batcher.
+  /// Failures are counted and the saturated flush counter retries at the
+  /// next boundary.
+  void MaybeCheckpoint() {
+    if (ckpt_ == nullptr || wal_ == nullptr ||
+        opts_.checkpoint_every_flushes == 0 ||
+        opts_.durability == DurabilityPolicy::kOff || wal_ahead_of_engine_) {
+      return;
+    }
+    if (++flushes_since_ckpt_ < opts_.checkpoint_every_flushes) return;
+    if (opts_.durability == DurabilityPolicy::kStrict) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (queued_total_ > 0 || batcher_->pending_updates() > 0) return;
+      try {
+        ckpt_->WriteCheckpoint();
+        flushes_since_ckpt_ = 0;
+        stats_.checkpoints += 1;
+        obs_checkpoints_->Inc();
+      } catch (const std::exception&) {
+        stats_.checkpoint_failures += 1;
+      }
+      return;
+    }
+    try {
+      ckpt_->WriteCheckpoint();
+      flushes_since_ckpt_ = 0;
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.checkpoints += 1;
+      obs_checkpoints_->Inc();
+    } catch (const std::exception&) {
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.checkpoint_failures += 1;
+    }
+  }
+
+  /// Window-mode seal with the standard retry/backoff envelope. Returns
+  /// false on exhaustion (caller sheds the window). Seal() re-writes only
+  /// the still-unwritten pending frames on retry and re-arms the group
+  /// fsync, so a mid-seal fault never duplicates a frame.
+  bool SupervisedSeal() {
+    auto backoff = opts_.retry_backoff;
+    for (size_t attempt = 0;; ++attempt) {
+      try {
+        wal_->Seal(/*sync=*/true);
+        return true;
+      } catch (const std::exception&) {
+        if (attempt >= opts_.max_retries) return false;
+        CountRetry(&IngestStats::wal_retries);
+        Backoff(&backoff);
+      }
+    }
   }
 
   /// Widens the batch window ×2 per level under sustained SLO violation,
@@ -589,6 +760,10 @@ class IngestService {
   serve::SnapshotServer<Ring>* server_;  // may be null
   ServiceOptions opts_;
 
+  /// Durability layer (AttachDurability); both may be null under kOff.
+  durability::WalWriter* wal_ = nullptr;
+  durability::Checkpointer<Ring>* ckpt_ = nullptr;
+
   /// Admission state (mu_). queued_total_ mirrors into queued_depth_ for
   /// lock-free gauge reads.
   mutable std::mutex mu_;
@@ -606,6 +781,10 @@ class IngestService {
   uint64_t window_oldest_ns_ = kNoDeadline;  // oldest unflushed arrival
   size_t slo_flushes_ = 0;
   size_t slo_violations_ = 0;
+  size_t flushes_since_ckpt_ = 0;
+  /// A window sealed into the WAL but abandoned mid-apply (retry budget
+  /// exhausted): checkpoints are disabled from here on — see FlushWindow.
+  bool wal_ahead_of_engine_ = false;
   std::function<void(uint64_t)> visibility_probe_;
 
   std::atomic<size_t> degrade_level_{0};
@@ -618,6 +797,9 @@ class IngestService {
   obs::Counter* obs_flushes_ = nullptr;
   obs::Counter* obs_retries_ = nullptr;
   obs::Counter* obs_degrades_ = nullptr;
+  obs::Counter* obs_wal_appended_ = nullptr;
+  obs::Counter* obs_wal_failed_ = nullptr;
+  obs::Counter* obs_checkpoints_ = nullptr;
   obs::Histogram* obs_visibility_ns_ = nullptr;
   uint64_t depth_gauge_token_ = 0;
   uint64_t level_gauge_token_ = 0;

@@ -123,6 +123,24 @@ class RegressionPayload {
     return sizeof(RegressionPayload) + heap;
   }
 
+  /// Raw view of the packed buffer (s block then upper-triangle Q block) for
+  /// the durability serializer — the wire format is exactly this layout.
+  const double* raw_data() const { return buf_.data(); }
+  size_t raw_size() const { return buf_.size(); }
+
+  /// Rebuilds a payload from serialized parts (durability recovery). `n`
+  /// must be the packed size for [lo, hi): (hi-lo) + (hi-lo)(hi-lo+1)/2.
+  static RegressionPayload FromRaw(double c, uint32_t lo, uint32_t hi,
+                                   const double* data, size_t n) {
+    RegressionPayload p;
+    p.c_ = c;
+    p.lo_ = lo;
+    p.hi_ = hi;
+    p.buf_.resize(n);
+    for (size_t i = 0; i < n; ++i) p.buf_[i] = data[i];
+    return p;
+  }
+
  private:
   size_t len() const { return hi_ - lo_; }
   bool has_range() const { return hi_ > lo_; }

@@ -79,6 +79,25 @@ class SparseRegressionPayload {
   size_t LinearEntryCount() const { return s_count_; }
   size_t QuadraticEntryCount() const { return keys_.size() - s_count_; }
 
+  /// Raw views of the key/value lanes for the durability serializer — the
+  /// wire format is exactly this split-array layout.
+  const std::vector<uint64_t>& raw_keys() const { return keys_; }
+  const std::vector<double>& raw_vals() const { return vals_; }
+
+  /// Rebuilds a payload from serialized parts (durability recovery).
+  /// `keys`/`vals` must be parallel, sorted within each region, with
+  /// `s_count` marking the linear/quadratic split.
+  static SparseRegressionPayload FromRaw(double c, uint32_t s_count,
+                                         std::vector<uint64_t> keys,
+                                         std::vector<double> vals) {
+    SparseRegressionPayload p;
+    p.c_ = c;
+    p.s_count_ = s_count;
+    p.keys_ = std::move(keys);
+    p.vals_ = std::move(vals);
+    return p;
+  }
+
  private:
   static uint64_t PairCode(uint32_t i, uint32_t j) {
     if (i > j) {

@@ -1,0 +1,67 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace fivm::util::detail {
+namespace {
+
+// Slice-by-8 tables for the reflected Castagnoli polynomial. Table 0 is the
+// classic byte-at-a-time table; table k advances a byte through k additional
+// zero bytes, which lets the hot loop fold 8 input bytes per iteration with
+// eight independent lookups instead of an 8-long dependency chain.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (size_t k = 1; k < 8; ++k) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[k][i] = c;
+      }
+    }
+  }
+};
+
+const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cTable(uint32_t state, const uint8_t* p, size_t n) {
+  const auto& t = T().t;
+  // Byte-align to 8 so the sliced loop reads whole words.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    state = t[0][(state ^ *p++) & 0xFF] ^ (state >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    w ^= state;  // little-endian: low word of w absorbs the running crc
+    state = t[7][w & 0xFF] ^ t[6][(w >> 8) & 0xFF] ^ t[5][(w >> 16) & 0xFF] ^
+            t[4][(w >> 24) & 0xFF] ^ t[3][(w >> 32) & 0xFF] ^
+            t[2][(w >> 40) & 0xFF] ^ t[1][(w >> 48) & 0xFF] ^
+            t[0][(w >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    state = t[0][(state ^ *p++) & 0xFF] ^ (state >> 8);
+    --n;
+  }
+  return state;
+}
+
+}  // namespace fivm::util::detail

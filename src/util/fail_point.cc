@@ -1,5 +1,7 @@
 #include "src/util/fail_point.h"
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -42,6 +44,7 @@ struct FailPointRegistry::Impl {
     uint64_t nth = 0;        // !=0: fire on exactly this evaluation (1-based)
     uint64_t max_fires = 0;  // 0 = unlimited
     uint64_t rng = 0;        // splitmix64 state
+    FailAction action = FailAction::kThrow;
     FailPointStats stats;
   };
 
@@ -85,7 +88,8 @@ FailPointRegistry& FailPointRegistry::Default() {
 }
 
 void FailPointRegistry::Arm(const std::string& site, double probability,
-                            uint64_t seed, uint64_t max_fires) {
+                            uint64_t seed, uint64_t max_fires,
+                            FailAction action) {
   if (probability < 0) probability = 0;
   if (probability > 1) probability = 1;
   std::lock_guard<std::mutex> lk(impl_->mu);
@@ -96,10 +100,12 @@ void FailPointRegistry::Arm(const std::string& site, double probability,
   s.nth = 0;
   s.max_fires = max_fires;
   s.rng = HashSite(site) ^ seed;
+  s.action = action;
   s.stats = {};
 }
 
-void FailPointRegistry::ArmNth(const std::string& site, uint64_t nth) {
+void FailPointRegistry::ArmNth(const std::string& site, uint64_t nth,
+                               FailAction action) {
   std::lock_guard<std::mutex> lk(impl_->mu);
   auto& s = impl_->sites[site];
   if (!s.armed) impl_->SetArmed(+1);
@@ -107,6 +113,7 @@ void FailPointRegistry::ArmNth(const std::string& site, uint64_t nth) {
   s.probability = 0;
   s.nth = nth;
   s.max_fires = 1;
+  s.action = action;
   s.stats = {};
 }
 
@@ -181,16 +188,61 @@ bool FailPointRegistry::ConfigureFromSpec(const std::string& spec,
       continue;
     }
     std::string site = entry.substr(0, eq);
+    std::string value = entry.substr(eq + 1);
+
+    // Optional "!kill" suffix selects the crash action.
+    FailAction action = FailAction::kThrow;
+    if (value.size() >= 5 && value.compare(value.size() - 5, 5, "!kill") == 0) {
+      action = FailAction::kKill;
+      value.resize(value.size() - 5);
+    }
+    if (value.empty()) {
+      ok = false;
+      continue;
+    }
+
+    if (value[0] == 'n') {
+      // "n<N>": fire on exactly the N-th evaluation.
+      char* end = nullptr;
+      uint64_t nth = std::strtoull(value.c_str() + 1, &end, 10);
+      if (end == value.c_str() + 1 || *end != '\0' || nth == 0 ||
+          site == "*") {
+        ok = false;
+        continue;
+      }
+      ArmNth(site, nth, action);
+      continue;
+    }
+
+    // "<prob>[/<max_fires>]".
     char* end = nullptr;
-    double p = std::strtod(entry.c_str() + eq + 1, &end);
-    if (end == entry.c_str() + eq + 1 || p < 0 || p > 1) {
+    double p = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || p < 0 || p > 1) {
+      ok = false;
+      continue;
+    }
+    uint64_t max_fires = 0;
+    if (*end == '/') {
+      char* end2 = nullptr;
+      max_fires = std::strtoull(end + 1, &end2, 10);
+      if (end2 == end + 1 || *end2 != '\0' || max_fires == 0) {
+        ok = false;
+        continue;
+      }
+    } else if (*end != '\0') {
       ok = false;
       continue;
     }
     if (site == "*") {
-      ArmAll(p, seed);
+      if (action == FailAction::kKill) {
+        // A wildcard kill would take down the process at the first armed
+        // site touched anywhere; reject it as almost certainly a typo.
+        ok = false;
+        continue;
+      }
+      ArmAll(p, seed, max_fires);
     } else {
-      Arm(site, p, seed);
+      Arm(site, p, seed, max_fires, action);
     }
   }
   return ok;
@@ -198,6 +250,7 @@ bool FailPointRegistry::ConfigureFromSpec(const std::string& spec,
 
 void FailPointRegistry::MaybeFail(const char* site) {
   bool fire = false;
+  bool kill = false;
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
     auto it = impl_->sites.find(site);
@@ -232,9 +285,16 @@ void FailPointRegistry::MaybeFail(const char* site) {
       ++s.stats.fires;
       ++impl_->total_fires;
       impl_->obs_fires->Inc();
+      kill = s.action == FailAction::kKill;
     }
   }
-  if (fire) throw InjectedFault(site);
+  if (fire) {
+    // Simulated crash: no unwinding, no atexit, no stream flushes — the
+    // process dies exactly as it stands, and only what already hit the
+    // filesystem survives for recovery to find.
+    if (kill) ::_exit(kKillExitCode);
+    throw InjectedFault(site);
+  }
 }
 
 }  // namespace fivm::util

@@ -18,14 +18,29 @@
 //     consumes which draw depends on scheduling.
 //   * Env arming for chaos CI: FIVM_FAILPOINTS="serve.publish=0.1,exec.task=0.05"
 //     (or "*=0.1" for every site) plus FIVM_FAILPOINT_SEED=<n> arms sites at
-//     process start without code changes.
+//     process start without code changes. Full per-entry grammar:
+//
+//       site=<prob>                fire with probability <prob>
+//       site=<prob>/<max_fires>    ... at most <max_fires> times
+//       site=n<N>                  fire on exactly the N-th evaluation
+//       ...!kill                   any of the above with `!kill` appended
+//                                  _exit()s at the site instead of throwing
+//
+//     e.g. FIVM_FAILPOINTS="wal.append=0.01!kill,ckpt.rename=n2!kill".
 //
 // Modes per site:
-//   Arm(site, p, seed[, max_fires])  - fire each evaluation with probability p,
-//                                      at most max_fires times (0 = unlimited).
-//   ArmNth(site, n)                  - fire on exactly the n-th evaluation
-//                                      (1-based); used to target e.g. "the
-//                                      first worker task of a batch".
+//   Arm(site, p, seed[, max_fires[, action]])
+//       fire each evaluation with probability p, at most max_fires times
+//       (0 = unlimited).
+//   ArmNth(site, n[, action])
+//       fire on exactly the n-th evaluation (1-based); used to target e.g.
+//       "the first worker task of a batch".
+//
+// Actions: FailAction::kThrow (default) raises InjectedFault for the
+// supervision paths to retry; FailAction::kKill calls _exit(kKillExitCode)
+// at the site — simulated process death for the crash-recovery harness
+// (tests/recovery_chaos_test.cc forks a child, arms kill sites, and
+// recovers from whatever the dead child left on disk).
 #ifndef FIVM_UTIL_FAIL_POINT_H_
 #define FIVM_UTIL_FAIL_POINT_H_
 
@@ -54,6 +69,16 @@ struct FailPointStats {
   uint64_t fires = 0;
 };
 
+/// What an armed site does when its schedule fires.
+enum class FailAction : uint8_t {
+  kThrow,  // throw InjectedFault (supervisors retry past it)
+  kKill,   // _exit(kKillExitCode): simulated crash, nothing unwinds/flushes
+};
+
+/// Exit code of a kKill fire; distinct from common test-failure codes so a
+/// fork-based harness can tell "killed at the armed site" from a real abort.
+inline constexpr int kKillExitCode = 86;
+
 class FailPointRegistry {
  public:
   // Process-wide registry.  First call parses FIVM_FAILPOINTS /
@@ -62,12 +87,13 @@ class FailPointRegistry {
 
   // Probability mode.  p is clamped to [0,1]; max_fires==0 means unlimited.
   void Arm(const std::string& site, double probability, uint64_t seed,
-           uint64_t max_fires = 0);
+           uint64_t max_fires = 0, FailAction action = FailAction::kThrow);
   // Wildcard: every site evaluated while armed draws from its own stream
   // seeded with `seed`.
   void ArmAll(double probability, uint64_t seed, uint64_t max_fires = 0);
   // Fire on exactly the nth evaluation of `site` (1-based), once.
-  void ArmNth(const std::string& site, uint64_t nth);
+  void ArmNth(const std::string& site, uint64_t nth,
+              FailAction action = FailAction::kThrow);
 
   void Disarm(const std::string& site);
   void DisarmAll();
@@ -76,10 +102,12 @@ class FailPointRegistry {
   uint64_t TotalFires() const;
   uint64_t TotalEvaluations() const;
 
-  // Parse an arming spec of the form "site=prob[,site=prob...]" where site may
-  // be "*".  Used for the FIVM_FAILPOINTS env var; exposed for tests.
-  // Returns false on a malformed spec (registry state is unchanged for the
-  // malformed entry; well-formed entries before it are applied).
+  // Parse a comma-separated arming spec; each entry is
+  // "site=<prob>[/<max_fires>][!kill]" or "site=n<N>[!kill]" and site may be
+  // "*" (probability entries only).  Used for the FIVM_FAILPOINTS env var;
+  // exposed for tests.  Returns false on a malformed spec (registry state is
+  // unchanged for the malformed entry; well-formed entries before it are
+  // applied).
   bool ConfigureFromSpec(const std::string& spec, uint64_t seed);
 
   // Evaluate `site`; throws InjectedFault when the site's schedule fires.

@@ -119,6 +119,43 @@ TEST_F(FailPointTest, SpecParsingArmsListedSites) {
   EXPECT_EQ(FireProfile("test.s4", 1).size(), 1u);
 }
 
+TEST_F(FailPointTest, SpecParsingMaxFiresNthAndKillForms) {
+  auto& fp = FailPointRegistry::Default();
+  // prob/max_fires: fires on the first 2 evaluations only at p=1.
+  EXPECT_TRUE(fp.ConfigureFromSpec("test.g1=1.0/2", /*seed=*/3));
+  EXPECT_EQ(FireProfile("test.g1", 10).size(), 2u);
+  // nth form.
+  EXPECT_TRUE(fp.ConfigureFromSpec("test.g2=n3", /*seed=*/3));
+  EXPECT_EQ(FireProfile("test.g2", 10), (std::vector<int>{2}));
+  // Malformed variants.
+  EXPECT_FALSE(fp.ConfigureFromSpec("test.g3=1.0/", /*seed=*/3));
+  EXPECT_FALSE(fp.ConfigureFromSpec("test.g4=n", /*seed=*/3));
+  EXPECT_FALSE(fp.ConfigureFromSpec("test.g5=nx", /*seed=*/3));
+  // Wildcard kill is rejected: a process-wide random _exit is never what a
+  // harness wants.
+  EXPECT_FALSE(fp.ConfigureFromSpec("*=1.0!kill", /*seed=*/3));
+}
+
+TEST_F(FailPointTest, KillActionExitsWithKillCode) {
+  // The kill action _exit(kKillExitCode)s the process at the site; run it
+  // in a death-test child so the suite survives. Also proves the spec
+  // grammar's "!kill" suffix reaches the action.
+  auto& fp = FailPointRegistry::Default();
+  ASSERT_TRUE(fp.ConfigureFromSpec("test.kill=n2!kill", /*seed=*/1));
+  FIVM_FAIL_POINT("test.kill");  // first evaluation: no fire
+  EXPECT_EXIT(FIVM_FAIL_POINT("test.kill"),
+              ::testing::ExitedWithCode(kKillExitCode), "");
+}
+
+TEST_F(FailPointTest, ArmedKillFiresWithoutThrowing) {
+  // kKill must not raise InjectedFault on its way out; in the parent the
+  // pre-kill evaluations are plain no-ops.
+  auto& fp = FailPointRegistry::Default();
+  fp.ArmNth("test.kill2", 100, FailAction::kKill);
+  EXPECT_NO_THROW(FireProfile("test.kill2", 50));
+  EXPECT_EQ(fp.Stats("test.kill2").fires, 0u);
+}
+
 TEST_F(FailPointTest, TotalFiresAccumulatesAcrossSites) {
   auto& fp = FailPointRegistry::Default();
   const uint64_t fires0 = fp.TotalFires();
